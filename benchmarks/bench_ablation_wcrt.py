@@ -1,0 +1,104 @@
+"""Ablations of the WCRT methodology (design choices of §3).
+
+Not paper tables — studies of the reduction pipeline's knobs:
+
+- how the BIC-selected K compares with the paper's K = 17;
+- how sensitive the clustering is to the PCA variance threshold;
+- how well a microarchitecture-independent characterization (the
+  paper's stated future work) agrees with the PMU-metric clustering.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.core import (
+    adjusted_rand_index,
+    fit_kmeans,
+    fit_pca,
+    gaussian_normalize,
+    independent_matrix,
+    reduce_workloads,
+)
+from repro.core.kmeans import bic_score
+from repro.workloads import ALL_WORKLOADS
+
+#: A representative subset keeps the ablation affordable; the full-77
+#: run lives in bench_table2_reduction.py.
+POPULATION = ALL_WORKLOADS[:40]
+
+
+@pytest.fixture(scope="module")
+def characterized(ctx):
+    names, vectors, profiles = [], [], []
+    for definition in POPULATION:
+        counters = ctx.counters(definition.workload_id)
+        names.append(definition.workload_id)
+        vectors.append(counters.metric_vector())
+        profiles.append(ctx.result(definition.workload_id).profile)
+    return names, np.vstack(vectors), profiles
+
+
+def test_ablation_k_selection(benchmark, characterized):
+    """BIC curve over K: the criterion should not collapse to K = 2."""
+    names, matrix, _profiles = characterized
+    normalized, _ = gaussian_normalize(matrix)
+    projected = fit_pca(normalized, variance_to_keep=0.9).transform(normalized)
+
+    def sweep():
+        scores = {}
+        for k in range(2, 21, 2):
+            model = fit_kmeans(projected, k, seed=1, n_restarts=4)
+            scores[k] = bic_score(projected, model)
+        return scores
+
+    scores = run_once(benchmark, sweep)
+    print()
+    for k, score in scores.items():
+        print(f"  K={k:2d}  BIC={score:12.1f}")
+    best_k = max(scores, key=scores.get)
+    print(f"  BIC-preferred K: {best_k} (paper fixes K = 17 on 77 workloads)")
+    assert best_k >= 4
+
+
+def test_ablation_pca_threshold(benchmark, characterized):
+    """Cluster assignments are stable across PCA variance thresholds."""
+    names, matrix, _profiles = characterized
+
+    def sweep():
+        labelings = {}
+        for threshold in (0.75, 0.85, 0.90, 0.95):
+            result = reduce_workloads(
+                names, matrix, k=10, variance_to_keep=threshold, seed=2
+            )
+            labelings[threshold] = result.labels
+        return labelings
+
+    labelings = run_once(benchmark, sweep)
+    print()
+    baseline = labelings[0.90]
+    for threshold, labels in labelings.items():
+        ari = adjusted_rand_index(baseline, labels)
+        print(f"  variance={threshold:.2f}  ARI vs 0.90 = {ari:.3f}")
+        assert ari > 0.3  # materially similar partitions
+
+
+def test_ablation_independent_metrics(benchmark, characterized):
+    """Microarchitecture-independent clustering vs the PMU clustering."""
+    names, matrix, profiles = characterized
+
+    def compare():
+        dependent = reduce_workloads(names, matrix, k=10, seed=3)
+        independent = reduce_workloads(
+            names, independent_matrix(profiles), k=10, seed=3
+        )
+        return dependent, independent
+
+    dependent, independent = run_once(benchmark, compare)
+    ari = adjusted_rand_index(dependent.labels, independent.labels)
+    print(f"\n  ARI(dependent, independent) = {ari:.3f}")
+    print(f"  dependent representatives:   {dependent.representatives[:6]} ...")
+    print(f"  independent representatives: {independent.representatives[:6]} ...")
+    # The two views should agree far better than chance: the stack and
+    # algorithm structure is visible from either side.
+    assert ari > 0.25

@@ -1,0 +1,13 @@
+"""Figure 1: instruction breakdown (big data branch 18.7%, integer 38%)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_instruction_mix
+
+
+def test_fig1_instruction_mix(benchmark, ctx):
+    result = run_once(benchmark, fig1_instruction_mix.run, ctx)
+    print()
+    print(result.render())
+    assert 0.14 < result.bigdata_branch < 0.24
+    assert 0.30 < result.bigdata_integer < 0.46

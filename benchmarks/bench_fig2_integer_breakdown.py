@@ -1,0 +1,14 @@
+"""Figure 2: integer-instruction breakdown (64% / 18% / 18%) and the
+data-movement headline (73% -> 92% with branches)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_integer_breakdown
+
+
+def test_fig2_integer_breakdown(benchmark, ctx):
+    result = run_once(benchmark, fig2_integer_breakdown.run, ctx)
+    print()
+    print(result.render())
+    assert result.avg_int_addr > 0.5
+    assert result.avg_with_branches > 0.8

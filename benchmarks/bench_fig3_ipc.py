@@ -1,0 +1,12 @@
+"""Figure 3: IPC of all workloads (big data 1.28, HPCC 1.5, SPECINT 0.9)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_ipc
+
+
+def test_fig3_ipc(benchmark, ctx):
+    result = run_once(benchmark, fig3_ipc.run, ctx)
+    print()
+    print(result.render())
+    assert result.suite_ipcs["HPCC"] > result.suite_ipcs["SPECINT"]

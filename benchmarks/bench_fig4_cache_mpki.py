@@ -1,0 +1,13 @@
+"""Figure 4: L1I/L2/L3 MPKI (big data L1I 15, CloudSuite 32, L3 1.2)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_cache
+
+
+def test_fig4_cache_mpki(benchmark, ctx):
+    result = run_once(benchmark, fig4_cache.run, ctx)
+    print()
+    print(result.render())
+    assert 8 < result.bigdata["l1i_mpki"] < 25
+    assert result.bigdata["l3_mpki"] < 3

@@ -1,0 +1,13 @@
+"""Figure 5: ITLB/DTLB MPKI (big data ITLB 0.05, DTLB 0.9)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_tlb
+
+
+def test_fig5_tlb_mpki(benchmark, ctx):
+    result = run_once(benchmark, fig5_tlb.run, ctx)
+    print()
+    print(result.render())
+    assert result.bigdata_itlb < 0.5
+    assert result.bigdata_dtlb < 4.0

@@ -1,0 +1,26 @@
+"""Figure 6: instruction-cache miss ratio vs capacity (Hadoop vs PARSEC).
+
+Paper: Hadoop's curve sits far above PARSEC's; footprints ~1024 KB vs
+~128 KB.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import fig6to9_locality
+
+
+@pytest.fixture(scope="module")
+def locality(ctx):
+    return fig6to9_locality.run(ctx, trace_refs=25_000)
+
+
+def test_fig6_icache_locality(benchmark, ctx):
+    result = run_once(benchmark, fig6to9_locality.run, ctx, trace_refs=25_000)
+    print()
+    print(result.render())
+    hadoop = result.instruction["Hadoop-workloads"]
+    parsec = result.instruction["PARSEC-workloads"]
+    at_32 = result.sizes_kb.index(32)
+    assert hadoop[at_32] > parsec[at_32]
+    assert result.knees_kb["Hadoop-workloads"] > result.knees_kb["PARSEC-workloads"]

@@ -1,0 +1,18 @@
+"""Figure 7: data-cache miss ratio vs capacity (curves close beyond 64 KB)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6to9_locality
+
+
+def test_fig7_dcache_locality(benchmark, ctx):
+    result = run_once(benchmark, fig6to9_locality.run, ctx, trace_refs=25_000)
+    print()
+    from repro.report.tables import render_series
+
+    print(render_series("KB", result.sizes_kb, result.data,
+                        title="Figure 7 — data cache miss ratio vs size"))
+    hadoop = result.data["Hadoop-workloads"]
+    parsec = result.data["PARSEC-workloads"]
+    at_4mb = result.sizes_kb.index(4096)
+    assert abs(hadoop[at_4mb] - parsec[at_4mb]) < 0.05

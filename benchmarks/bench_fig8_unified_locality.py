@@ -1,0 +1,18 @@
+"""Figure 8: unified miss ratio vs capacity (convergence beyond 1024 KB)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6to9_locality
+
+
+def test_fig8_unified_locality(benchmark, ctx):
+    result = run_once(benchmark, fig6to9_locality.run, ctx, trace_refs=25_000)
+    print()
+    from repro.report.tables import render_series
+
+    print(render_series("KB", result.sizes_kb, result.unified,
+                        title="Figure 8 — unified miss ratio vs size"))
+    hadoop = result.unified["Hadoop-workloads"]
+    parsec = result.unified["PARSEC-workloads"]
+    at_2mb = result.sizes_kb.index(2048)
+    assert abs(hadoop[at_2mb] - parsec[at_2mb]) < 0.08

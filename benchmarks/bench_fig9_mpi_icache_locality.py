@@ -1,0 +1,20 @@
+"""Figure 9: MPI instruction footprints match PARSEC, far below Hadoop."""
+
+from conftest import run_once
+
+from repro.experiments import fig6to9_locality
+
+
+def test_fig9_mpi_icache_locality(benchmark, ctx):
+    result = run_once(benchmark, fig6to9_locality.run, ctx, trace_refs=25_000)
+    print()
+    from repro.report.tables import render_series
+
+    print(render_series("KB", result.sizes_kb, result.instruction,
+                        title="Figure 9 — instruction miss ratio incl. MPI"))
+    mpi = result.instruction["MPI-workloads"]
+    hadoop = result.instruction["Hadoop-workloads"]
+    parsec = result.instruction["PARSEC-workloads"]
+    at_32 = result.sizes_kb.index(32)
+    assert mpi[at_32] < 0.5 * hadoop[at_32]
+    assert abs(mpi[at_32] - parsec[at_32]) < 0.12

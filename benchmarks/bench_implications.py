@@ -1,0 +1,16 @@
+"""§5.1 implications: wasted FP capacity, speculation waste."""
+
+from conftest import run_once
+
+from repro.experiments import implications
+
+
+def test_implications(benchmark, ctx):
+    result = run_once(benchmark, implications.run, ctx)
+    print()
+    print(result.render())
+    # The paper's point: big data uses a vanishing share of peak FP.
+    assert result.bigdata_fp_utilization < 0.05
+    # HPC uses far more of the machine's FP capacity than big data.
+    suite_gflops = {row[0]: row[1] for row in result.suite_rows}
+    assert suite_gflops["HPCC"] > 10 * result.bigdata_gflops

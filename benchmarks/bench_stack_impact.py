@@ -1,0 +1,17 @@
+"""§5.5: software-stack impact (MPI vs Hadoop vs Spark for 6 algorithms).
+
+Paper: M-WordCount IPC 1.8 vs 1.1 (Hadoop) and 0.9 (Spark); L1I MPKI 2
+vs 7 and 17 — an order of magnitude across stacks.
+"""
+
+from conftest import run_once
+
+from repro.experiments import stack_impact
+
+
+def test_stack_impact(benchmark, ctx):
+    result = run_once(benchmark, stack_impact.run, ctx)
+    print()
+    print(result.render())
+    assert result.mpi_avg["ipc"] > result.others_avg["ipc"]
+    assert result.l1i_ratio > 3.0

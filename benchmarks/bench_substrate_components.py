@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the simulation substrates.
+
+Not a paper table — throughput numbers for the cache simulator, branch
+predictors, trace generators and the WCRT statistical pipeline, so
+regressions in the substrate are visible.
+"""
+
+import numpy as np
+
+from repro.core.kmeans import fit_kmeans
+from repro.core.pca import fit_pca
+from repro.uarch.branch import (
+    BranchStreamGenerator,
+    HybridPredictor,
+    simulate_branches,
+)
+from repro.uarch.cache import CacheConfig, SetAssociativeCache
+from repro.uarch.profile import BranchProfile, CodeFootprint, CodeRegion
+from repro.uarch.trace import generate_fetch_trace
+
+
+def test_cache_simulation_throughput(benchmark):
+    trace = generate_fetch_trace(
+        CodeFootprint(
+            [
+                CodeRegion("hot", 32 * 1024, weight=0.8),
+                CodeRegion("cold", 512 * 1024, weight=0.2),
+            ]
+        ),
+        100_000,
+        seed=3,
+    ).tolist()
+
+    def run():
+        cache = SetAssociativeCache(CacheConfig("L1I", 32 * 1024, 4))
+        cache.run(trace)
+        return cache.misses
+
+    misses = benchmark(run)
+    assert misses > 0
+
+
+def test_branch_simulation_throughput(benchmark):
+    profile = BranchProfile(
+        loop_fraction=0.4, pattern_fraction=0.1,
+        data_dependent_fraction=0.5, static_sites=1024,
+    )
+    events = BranchStreamGenerator(profile, seed=3).generate(30_000)
+
+    def run():
+        return simulate_branches(events, HybridPredictor()).mispredictions
+
+    mispredictions = benchmark(run)
+    assert mispredictions >= 0
+
+
+def test_trace_generation_throughput(benchmark):
+    footprint = CodeFootprint(
+        [
+            CodeRegion("hot", 32 * 1024, weight=0.8),
+            CodeRegion("cold", 1024 * 1024, weight=0.2),
+        ]
+    )
+    trace = benchmark(generate_fetch_trace, footprint, 200_000, 5)
+    assert len(trace) == 200_000
+
+
+def test_wcrt_statistics_throughput(benchmark):
+    rng = np.random.default_rng(9)
+    matrix = rng.normal(size=(77, 45))
+
+    def run():
+        model = fit_pca(matrix, variance_to_keep=0.9)
+        projected = model.transform(matrix)
+        return fit_kmeans(projected, k=17, seed=1).inertia
+
+    inertia = benchmark(run)
+    assert inertia > 0

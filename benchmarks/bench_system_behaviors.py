@@ -1,0 +1,13 @@
+"""§3.2: system-behaviour classification of the 17 representatives."""
+
+from conftest import run_once
+
+from repro.experiments import system_behaviors
+
+
+def test_system_behaviors(benchmark, ctx):
+    result = run_once(benchmark, system_behaviors.run, ctx)
+    print()
+    print(result.render())
+    assert result.total == 17
+    assert result.matches >= 8

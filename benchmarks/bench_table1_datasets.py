@@ -1,0 +1,12 @@
+"""Table 1: datasets and generation tools."""
+
+from conftest import run_once
+
+from repro.experiments import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    result = run_once(benchmark, table1_datasets.run)
+    print()
+    print(result.render())
+    assert len(result.rows) == 7

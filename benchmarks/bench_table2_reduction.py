@@ -1,0 +1,14 @@
+"""Table 2 / §3: the WCRT reduction of 77 workloads to 17 clusters."""
+
+from conftest import run_once
+
+from repro.experiments import table2_reduction
+
+
+def test_table2_reduction(benchmark, ctx):
+    result = run_once(benchmark, table2_reduction.run, ctx)
+    print()
+    print(result.render())
+    assert result.n_clusters == 17
+    total = sum(len(m) for m in result.reduction.clusters.values())
+    assert total == 77

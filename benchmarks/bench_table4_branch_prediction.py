@@ -1,0 +1,12 @@
+"""Table 4 / §5.1: E5645 vs D510 branch misprediction (2.8% vs 7.8%)."""
+
+from conftest import run_once
+
+from repro.experiments import table4_branch
+
+
+def test_table4_branch_prediction(benchmark, ctx):
+    result = run_once(benchmark, table4_branch.run, ctx)
+    print()
+    print(result.render())
+    assert result.d510_avg > result.e5645_avg

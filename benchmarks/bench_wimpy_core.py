@@ -1,0 +1,15 @@
+"""§5.2: the wimpy-vs-brawny core road-map study."""
+
+from conftest import run_once
+
+from repro.experiments import wimpy_core
+
+
+def test_wimpy_core_study(benchmark, ctx):
+    result = run_once(benchmark, wimpy_core.run, ctx)
+    print()
+    print(result.render())
+    # Every workload runs slower per-core on the Atom...
+    assert result.min_slowdown > 1.0
+    # ...but by widely varying factors: no one-size-fits-all core.
+    assert result.spread > 1.3

@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+Every bench regenerates one of the paper's tables or figures, prints the
+rows/series next to the paper's reference numbers, and times the
+regeneration via pytest-benchmark (rounds kept minimal: these are
+experiment harnesses, not micro-benchmarks).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One characterization sweep shared by all figure benches."""
+    return ExperimentContext(scale=0.4)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""System-behaviour characterization on the discrete-event cluster.
+
+Runs a handful of Table 2 workloads on the simulated 5-node testbed
+(Xeon E5645 nodes, one disk and one NIC each), reads off the §3.2.1
+metrics (CPU utilisation, I/O wait, weighted disk I/O time, bandwidth)
+and applies the paper's classification rules, next to the §3.2.2
+data-behaviour buckets.
+
+    python examples/cluster_playground.py
+"""
+
+from repro.report.tables import render_table
+from repro.system import characterize_system
+from repro.workloads import workload
+
+WORKLOADS = (
+    "H-Read",        # service reads: IO-intensive
+    "H-Grep",        # scanning: CPU-intensive
+    "S-WordCount",   # shuffle-heavy: IO-intensive
+    "S-Kmeans",      # iterative FP: CPU-intensive
+    "I-SelectQuery", # scan-rate bound: IO-intensive
+)
+
+
+def main() -> None:
+    rows = []
+    for workload_id in WORKLOADS:
+        definition = workload(workload_id)
+        print(f"running {workload_id} on a fresh 5-node cluster ...")
+        characterization = characterize_system(definition, scale=0.4)
+        metrics = characterization.metrics
+        rows.append(
+            [
+                workload_id,
+                f"{metrics.cpu_utilization:.2f}",
+                f"{metrics.io_wait_ratio:.2f}",
+                f"{metrics.weighted_io_time_ratio:.2f}",
+                f"{metrics.disk_bandwidth_mbps:.1f}",
+                characterization.system_behavior.value,
+                definition.expected_system_behavior.value,
+                characterization.data_behavior.describe(),
+            ]
+        )
+    print()
+    print(render_table(
+        ["workload", "cpu", "iowait", "wIO", "disk MB/s", "measured",
+         "Table 2", "data behaviour"],
+        rows,
+        title="§3.2 system behaviours on the simulated testbed",
+    ))
+
+
+if __name__ == "__main__":
+    main()

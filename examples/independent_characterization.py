@@ -1,0 +1,55 @@
+"""Microarchitecture-independent characterization (the paper's §6 plan).
+
+Characterizes a slice of the catalog twice — once through the simulated
+PMU (the 45 dependent metrics) and once from pure program properties
+(the 23 independent metrics) — clusters both, and reports how much the
+partitions agree.  High agreement supports the paper's premise that the
+workload structure WCRT finds is a property of the programs, not of the
+Xeon it measured them on.
+
+    python examples/independent_characterization.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    adjusted_rand_index,
+    independent_matrix,
+    reduce_workloads,
+    reduce_workloads_independent,
+)
+from repro.experiments import ExperimentContext
+from repro.workloads import ALL_WORKLOADS
+
+POPULATION = [d.workload_id for d in ALL_WORKLOADS[:30]]
+K = 8
+
+
+def main() -> None:
+    context = ExperimentContext(scale=0.4)
+    print(f"characterizing {len(POPULATION)} workloads both ways ...")
+
+    names, vectors, profiles = [], [], []
+    for workload_id in POPULATION:
+        counters = context.counters(workload_id)
+        names.append(workload_id)
+        vectors.append(counters.metric_vector())
+        profiles.append(context.result(workload_id).profile)
+
+    dependent = reduce_workloads(names, np.vstack(vectors), k=K, seed=1)
+    independent = reduce_workloads_independent(names, profiles, k=K, seed=1)
+
+    print("\nPMU-metric clusters:")
+    for rep in dependent.representatives:
+        print(f"  {rep:26s} x{dependent.represents(rep)}")
+    print("\nmicroarchitecture-independent clusters:")
+    for rep in independent.representatives:
+        print(f"  {rep:26s} x{independent.represents(rep)}")
+
+    ari = adjusted_rand_index(dependent.labels, independent.labels)
+    print(f"\nadjusted Rand index between the partitions: {ari:.3f} "
+          "(1 = identical, ~0 = chance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""The §5.4 locality study: cache miss ratio versus capacity.
+
+Replays the paper's MARSSx86 experiment: sweep an 8-way L1 cache from
+16 KB to 8192 KB over the instruction and data streams of the Hadoop
+workloads, PARSEC and the MPI versions, and plot the miss-ratio curves
+(Figures 6-9) as ASCII series.
+
+    python examples/locality_study.py
+"""
+
+from repro.experiments import ExperimentContext, fig6to9_locality
+from repro.report.tables import render_series
+
+
+def sparkline(values, width: int = 30) -> str:
+    peak = max(max(values), 1e-9)
+    blocks = " .:-=+*#%@"
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+        for v in values
+    )
+
+
+def main() -> None:
+    print("running the cache-capacity sweeps (a minute or two) ...\n")
+    context = ExperimentContext(scale=0.4)
+    result = fig6to9_locality.run(context, trace_refs=25_000)
+
+    print(render_series(
+        "KB", result.sizes_kb, result.instruction,
+        title="Instruction cache miss ratio vs size (Figures 6 and 9)",
+    ))
+    print()
+    print(render_series(
+        "KB", result.sizes_kb, result.data,
+        title="Data cache miss ratio vs size (Figure 7)",
+    ))
+    print()
+    print(render_series(
+        "KB", result.sizes_kb, result.unified,
+        title="Unified miss ratio vs size (Figure 8)",
+    ))
+
+    print("\nshape summary (16 KB -> 8 MB):")
+    for name, series in result.instruction.items():
+        print(f"  {name:18s} |{sparkline(series)}|")
+    print(f"\nfootprint knees: {result.knees_kb} "
+          "(paper: Hadoop ~1024 KB, PARSEC ~128 KB)")
+
+
+if __name__ == "__main__":
+    main()

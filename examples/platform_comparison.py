@@ -1,0 +1,37 @@
+"""The Table 4 branch study: Xeon E5645 versus Atom D510.
+
+Characterizes each of the 17 representative workloads on both platform
+models.  The Xeon's hybrid predictor (two-level + loop counter, an
+indirect predictor, an 8192-entry BTB) against the Atom's two-level
+global-history predictor with a 128-entry BTB — the paper measures
+2.8% vs 7.8% average misprediction.
+
+    python examples/platform_comparison.py
+"""
+
+from repro.experiments import ExperimentContext, table4_branch
+from repro.report.tables import render_table
+
+
+def main() -> None:
+    print("profiling the 17 representatives on both platforms ...\n")
+    context = ExperimentContext(scale=0.4)
+    result = table4_branch.run(context)
+    print(result.render())
+
+    print("\nTable 4 — the prediction hardware being compared:")
+    print(render_table(
+        ["component", "Atom D510", "Xeon E5645"],
+        [
+            ["conditional jumps", "two-level, global history",
+             "hybrid: two-level + loop counter"],
+            ["indirect jumps/calls", "none (BTB last-target)",
+             "two-level predictor"],
+            ["BTB entries", 128, 8192],
+            ["misprediction penalty", "15 cycles", "11-13 cycles"],
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main()

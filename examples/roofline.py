@@ -1,0 +1,75 @@
+"""A roofline view of the §5.1 floating-point implication.
+
+Places the 17 representatives and the comparison suites on an ASCII
+roofline (operation intensity vs achieved GFLOPS) for the Xeon E5645
+model (57.6 GFLOPS peak, ~32 GB/s off-core bandwidth): big data
+workloads sit deep in the bottom-left corner, which is the paper's
+wasted-FP-capacity argument in one picture.
+
+    python examples/roofline.py
+"""
+
+import math
+
+from repro.comparison import SUITES
+from repro.experiments import ExperimentContext
+from repro.workloads import REPRESENTATIVE_WORKLOADS
+
+WIDTH, HEIGHT = 68, 20
+PEAK_GFLOPS = 57.6
+BANDWIDTH_GBS = 32.0
+
+
+def to_cell(x, y, x_range, y_range):
+    column = int((x - x_range[0]) / (x_range[1] - x_range[0]) * (WIDTH - 1))
+    row = int((y - y_range[0]) / (y_range[1] - y_range[0]) * (HEIGHT - 1))
+    return max(0, min(WIDTH - 1, column)), max(0, min(HEIGHT - 1, row))
+
+
+def main() -> None:
+    context = ExperimentContext(scale=0.4)
+    points = []
+    for definition in REPRESENTATIVE_WORKLOADS:
+        metrics = context.counters(definition.workload_id).metric_dict()
+        points.append(("b", metrics["fp_ops_per_byte"], metrics["gflops"]))
+    for suite_name, marker in (("HPCC", "H"), ("SPECFP", "F"), ("PARSEC", "P")):
+        intensity = context.suite_average(suite_name, "fp_ops_per_byte")
+        gflops = context.suite_average(suite_name, "gflops")
+        points.append((marker, intensity, gflops))
+
+    # Log-log axes.
+    xs = [max(1e-6, p[1]) for p in points]
+    ys = [max(1e-3, p[2]) for p in points]
+    x_range = (math.log10(min(xs)) - 0.3, math.log10(max(xs)) + 0.3)
+    y_range = (math.log10(min(ys)) - 0.3, math.log10(PEAK_GFLOPS) + 0.3)
+
+    grid = [[" "] * WIDTH for _ in range(HEIGHT)]
+    # Draw the roofs: memory slope and compute ceiling.
+    for column in range(WIDTH):
+        x_log = x_range[0] + column / (WIDTH - 1) * (x_range[1] - x_range[0])
+        roof = min(PEAK_GFLOPS, BANDWIDTH_GBS * (10 ** x_log))
+        _c, row = to_cell(x_log, math.log10(max(1e-3, roof)), x_range, y_range)
+        grid[HEIGHT - 1 - row][column] = "-" if roof >= PEAK_GFLOPS else "/"
+    for marker, x, y in points:
+        column, row = to_cell(
+            math.log10(max(1e-6, x)), math.log10(max(1e-3, y)),
+            x_range, y_range,
+        )
+        grid[HEIGHT - 1 - row][column] = marker
+
+    print("Roofline (log-log): FP ops/byte vs achieved GFLOPS")
+    print(f"ceiling {PEAK_GFLOPS} GFLOPS, memory slope {BANDWIDTH_GBS} GB/s")
+    for row in grid:
+        print("|" + "".join(row) + "|")
+    print("b = big data representatives, H = HPCC, F = SPECFP, P = PARSEC")
+    bigdata = [p for p in points if p[0] == "b"]
+    mean_gflops = sum(p[2] for p in bigdata) / len(bigdata)
+    print(
+        f"\nbig data mean: {mean_gflops:.2f} GFLOPS — "
+        f"{100 * mean_gflops / PEAK_GFLOPS:.1f}% of peak "
+        "(the paper quotes ~0.1 GFLOPS of 57.6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

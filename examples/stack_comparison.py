@@ -1,0 +1,58 @@
+"""The §5.5 software-stack study: one algorithm, three stacks.
+
+Runs WordCount as MPI, Hadoop and Spark implementations over the same
+generated corpus — all three produce identical word counts — then
+characterizes each on the Xeon E5645 model.  The paper's finding: the
+L1I cache miss rates differ by an order of magnitude between the thin
+MPI stack and the JVM stacks (2 vs 7 vs 17 MPKI), and IPC follows
+(1.8 vs 1.1 vs 0.9).
+
+    python examples/stack_comparison.py
+"""
+
+from repro.report.tables import render_table
+from repro.uarch import XEON_E5645, characterize
+from repro.workloads.kernels import (
+    hadoop_wordcount,
+    mpi_wordcount,
+    spark_wordcount,
+)
+
+PAPER_NUMBERS = {
+    "M-WordCount": {"ipc": 1.8, "l1i": 2.0},
+    "H-WordCount": {"ipc": 1.1, "l1i": 7.0},
+    "S-WordCount": {"ipc": 0.9, "l1i": 17.0},
+}
+
+
+def main() -> None:
+    rows = []
+    for runner in (mpi_wordcount, hadoop_wordcount, spark_wordcount):
+        result = runner(scale=0.5)
+        counters = characterize(result.profile, XEON_E5645)
+        paper = PAPER_NUMBERS[result.name]
+        rows.append(
+            [
+                result.name,
+                f"{counters.ipc:.2f} ({paper['ipc']})",
+                f"{counters.l1i_mpki:.1f} ({paper['l1i']})",
+                f"{counters.l2_mpki:.1f}",
+                f"{counters.l3_mpki:.2f}",
+                f"{result.profile.code.total_bytes // 1024} KB",
+            ]
+        )
+    print(render_table(
+        ["workload", "IPC (paper)", "L1I MPKI (paper)", "L2", "L3",
+         "code footprint"],
+        rows,
+        title="WordCount across software stacks — §5.5 of the paper",
+    ))
+    print(
+        "\nThe stack, not the algorithm, sets the front-end behaviour: "
+        "the MPI version's instruction footprint is PARSEC-sized, the "
+        "JVM stacks' footprints are an order of magnitude larger."
+    )
+
+
+if __name__ == "__main__":
+    main()

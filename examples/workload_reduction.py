@@ -1,0 +1,48 @@
+"""The paper's headline experiment: reduce 77 workloads to 17 (§3, Table 2).
+
+Deploys WCRT (five profilers + one analyzer), characterizes every
+workload in the BigDataBench catalog, normalises the 45-metric matrix
+to a Gaussian distribution, reduces dimensionality with PCA, clusters
+with K-means (K = 17) and selects one centroid-nearest representative
+per cluster.
+
+    python examples/workload_reduction.py [--quick]
+
+``--quick`` clusters a 30-workload subset (about a quarter of the full
+run time) so the pipeline can be explored interactively.
+"""
+
+import sys
+import time
+
+from repro.core import Wcrt
+from repro.workloads import ALL_WORKLOADS
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    population = ALL_WORKLOADS[:30] if quick else ALL_WORKLOADS
+    k = 8 if quick else 17
+
+    print(f"characterizing {len(population)} workloads on 5 profilers ...")
+    start = time.time()
+    wcrt = Wcrt(n_profilers=5, scale=0.4)
+    result = wcrt.reduce(population, k=k)
+    elapsed = time.time() - start
+
+    print(f"\n{result.n_clusters} clusters in {elapsed:.0f}s "
+          f"(paper: 77 workloads -> 17 representatives)\n")
+    for representative in result.representatives:
+        members = result.clusters[representative]
+        others = ", ".join(m for m in members if m != representative)
+        print(f"  {representative:26s} represents {len(members):2d}"
+              f"{':  ' + others if others else ''}")
+
+    print("\nPCA retained "
+          f"{result.pca.n_components} components explaining "
+          f"{100 * result.pca.explained_variance_ratio.sum():.0f}% of variance\n")
+    print(wcrt.analyzer.render_pca_scatter(result))
+
+
+if __name__ == "__main__":
+    main()

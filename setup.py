@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so ``pip install -e .`` cannot use PEP 660 editable builds.  This shim
+lets ``python setup.py develop`` (and old-style pip editable installs)
+work from the pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's experiments:
+
+    python -m repro list                     # the workload catalog
+    python -m repro run S-WordCount          # run + characterize one workload
+    python -m repro reduce [--k 17]          # the 77 -> 17 reduction
+    python -m repro fig 1|2|3|4|5|locality   # regenerate a figure
+    python -m repro table 1|2|4              # regenerate a table
+    python -m repro stacks                   # the §5.5 stack study
+    python -m repro system                   # §3.2 classification
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentContext,
+    fig1_instruction_mix,
+    fig2_integer_breakdown,
+    fig3_ipc,
+    fig4_cache,
+    fig5_tlb,
+    fig6to9_locality,
+    stack_impact,
+    system_behaviors,
+    table1_datasets,
+    table2_reduction,
+    table4_branch,
+)
+from repro.uarch import ATOM_D510, XEON_E5645, characterize
+from repro.workloads import ALL_WORKLOADS, MPI_WORKLOADS, workload
+
+_FIGURES = {
+    "1": fig1_instruction_mix,
+    "2": fig2_integer_breakdown,
+    "3": fig3_ipc,
+    "4": fig4_cache,
+    "5": fig5_tlb,
+}
+
+_TABLES = {
+    "2": table2_reduction,
+    "4": table4_branch,
+}
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'workload':26s} {'stack':8s} {'dataset':16s} {'category':22s} rep")
+    for definition in ALL_WORKLOADS + MPI_WORKLOADS:
+        marker = f"x{definition.represents}" if definition.representative else ""
+        print(
+            f"{definition.workload_id:26s} {definition.stack:8s} "
+            f"{definition.dataset:16s} {definition.category.value:22s} {marker}"
+        )
+    print(f"\n{len(ALL_WORKLOADS)} catalog workloads + {len(MPI_WORKLOADS)} MPI versions")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    definition = workload(args.workload)
+    platform = ATOM_D510 if args.platform == "d510" else XEON_E5645
+    print(f"running {definition.workload_id} ({definition.description}) ...")
+    result = definition.runner(scale=args.scale)
+    counters = characterize(result.profile, platform)
+    print(f"platform: {platform.name}")
+    for name, value in counters.metric_dict().items():
+        print(f"  {name:26s} {value:12.4f}")
+    return 0
+
+
+def _cmd_reduce(args) -> int:
+    from repro.core import Wcrt
+
+    wcrt = Wcrt(n_profilers=5, scale=args.scale)
+    result = wcrt.reduce(ALL_WORKLOADS, k=args.k)
+    for representative in result.representatives:
+        members = result.clusters[representative]
+        print(f"{representative:26s} represents {len(members)}")
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    context = ExperimentContext(scale=args.scale)
+    if args.figure == "locality":
+        print(fig6to9_locality.run(context).render())
+        return 0
+    module = _FIGURES.get(args.figure)
+    if module is None:
+        print(f"unknown figure {args.figure!r}; choose 1-5 or 'locality'",
+              file=sys.stderr)
+        return 2
+    print(module.run(context).render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    if args.table == "1":
+        print(table1_datasets.run().render())
+        return 0
+    module = _TABLES.get(args.table)
+    if module is None:
+        print(f"unknown table {args.table!r}; choose 1, 2 or 4", file=sys.stderr)
+        return 2
+    context = ExperimentContext(scale=args.scale)
+    print(module.run(context).render())
+    return 0
+
+
+def _cmd_stacks(args) -> int:
+    context = ExperimentContext(scale=args.scale)
+    print(stack_impact.run(context).render())
+    return 0
+
+
+def _cmd_system(args) -> int:
+    context = ExperimentContext(scale=args.scale)
+    print(system_behaviors.run(context).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Characterization and Architectural "
+                    "Implications of Big Data Workloads' (ISPASS 2016).",
+    )
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload scale factor (default 0.5)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the workload catalog")
+
+    run_parser = commands.add_parser("run", help="run one workload")
+    run_parser.add_argument("workload", help="workload id, e.g. S-WordCount")
+    run_parser.add_argument("--platform", choices=("e5645", "d510"),
+                            default="e5645")
+
+    reduce_parser = commands.add_parser("reduce", help="the 77 -> 17 reduction")
+    reduce_parser.add_argument("--k", type=int, default=17)
+
+    fig_parser = commands.add_parser("fig", help="regenerate a figure")
+    fig_parser.add_argument("figure", help="1-5 or 'locality' (6-9)")
+
+    table_parser = commands.add_parser("table", help="regenerate a table")
+    table_parser.add_argument("table", help="1, 2 or 4")
+
+    commands.add_parser("stacks", help="the §5.5 software-stack study")
+    commands.add_parser("system", help="§3.2 system-behaviour classification")
+    return parser
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "reduce": _cmd_reduce,
+    "fig": _cmd_fig,
+    "table": _cmd_table,
+    "stacks": _cmd_stacks,
+    "system": _cmd_system,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

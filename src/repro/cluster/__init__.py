@@ -1,0 +1,30 @@
+"""Discrete-event cluster substrate.
+
+Stands in for the paper's 5-node Xeon E5645 testbed: nodes with cores,
+disks and NICs execute workload tasks as coroutine processes, and the
+resource models account CPU utilization, I/O-wait, weighted disk I/O
+time and I/O bandwidth — the inputs to the paper's §3.2.1 system-
+behaviour classification.
+"""
+
+from repro.cluster.events import Simulation, Process, Timeout, Resource
+from repro.cluster.disk import Disk
+from repro.cluster.network import Nic, Network
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.cluster import Cluster
+from repro.cluster.filesystem import DistributedFileSystem, FileHandle
+
+__all__ = [
+    "Simulation",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Disk",
+    "Nic",
+    "Network",
+    "Node",
+    "NodeSpec",
+    "Cluster",
+    "DistributedFileSystem",
+    "FileHandle",
+]

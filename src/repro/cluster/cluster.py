@@ -1,0 +1,91 @@
+"""The cluster: nodes behind a non-blocking switch, plus run metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cluster.events import Simulation
+from repro.cluster.network import Network
+from repro.cluster.node import Node, NodeSpec
+
+
+@dataclass
+class SystemMetrics:
+    """The §3.2.1 system-behaviour measurements for one workload run."""
+
+    elapsed: float
+    cpu_utilization: float
+    io_wait_ratio: float
+    weighted_io_time_ratio: float
+    disk_bandwidth_mbps: float
+    network_bandwidth_mbps: float
+
+
+class Cluster:
+    """A shared-nothing cluster of identical nodes (the paper uses 5)."""
+
+    def __init__(
+        self,
+        sim: Simulation = None,
+        n_nodes: int = 5,
+        spec: NodeSpec = NodeSpec(),
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim if sim is not None else Simulation()
+        self.network = Network(self.sim)
+        self.nodes: List[Node] = []
+        for i in range(n_nodes):
+            node = Node(self.sim, name=f"node{i}", spec=spec)
+            self.network.attach(node.nic)
+            self.nodes.append(node)
+        self._started_at = self.sim.now
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, index: int) -> Node:
+        return self.nodes[index % len(self.nodes)]
+
+    def run(self, until: float = None) -> float:
+        """Drive the simulation; returns the final simulated time."""
+        return self.sim.run(until=until)
+
+    def metrics(self) -> SystemMetrics:
+        """Cluster-wide system metrics since construction."""
+        elapsed = self.sim.now - self._started_at
+        if elapsed <= 0:
+            return SystemMetrics(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        n = len(self.nodes)
+        # Utilisation is reported as the duty cycle of *occupied* cores
+        # (compute time versus compute + I/O-blocked time).  Scaled-down
+        # runs underfill the paper's 5-node testbed, so wall-clock
+        # core-utilisation would trivially classify everything as idle;
+        # the duty cycle preserves the paper's compute/IO balance, which
+        # is what the §3.2.1 rules discriminate on.
+        total_cpu = sum(node.cpu_time for node in self.nodes)
+        # Disk *service* time, not per-task blocked time: with more
+        # runnable tasks than in-flight I/Os the OS overlaps the queueing
+        # delay with other tasks' compute, exactly as Linux iowait does.
+        total_io = sum(node.disk.busy_time() for node in self.nodes)
+        busy = total_cpu + total_io
+        cpu = total_cpu / busy if busy > 0 else 0.0
+        iowait = total_io / busy if busy > 0 else 0.0
+        weighted = (
+            sum(node.disk.weighted_io_time() for node in self.nodes) / n / elapsed
+        )
+        disk_bw = (
+            sum(node.disk.total_bytes for node in self.nodes) / n / elapsed / 1e6
+        )
+        net_bw = (
+            sum(node.nic.total_bytes for node in self.nodes) / n / elapsed / 1e6
+        )
+        return SystemMetrics(
+            elapsed=elapsed,
+            cpu_utilization=cpu,
+            io_wait_ratio=iowait,
+            weighted_io_time_ratio=weighted,
+            disk_bandwidth_mbps=disk_bw,
+            network_bandwidth_mbps=net_bw,
+        )

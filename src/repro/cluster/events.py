@@ -1,0 +1,221 @@
+"""A compact discrete-event simulation core.
+
+Processes are Python generators that yield :class:`Event` objects; the
+:class:`Simulation` advances virtual time and resumes processes when the
+events they wait on trigger.  :class:`Resource` provides FIFO contention
+(cores, disk channels, network links).
+
+The design follows the familiar SimPy shape but is self-contained —
+the paper's testbed is replaced by models built on this core, and
+depending on nothing external keeps the substrate auditable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Generator, List, Optional
+
+
+class Event:
+    """Something that will happen at a simulated time.
+
+    Processes wait on events by yielding them; callbacks fire when the
+    event triggers.  An event carries an optional ``value``.
+    """
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.triggered = False
+        self.value = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def trigger(self, value=None) -> None:
+        """Fire the event immediately (at the current simulation time)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed delay."""
+
+    def __init__(self, sim: "Simulation", delay: float, value=None):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        super().__init__(sim)
+        sim._schedule(delay, self, value)
+
+
+class Process(Event):
+    """A running coroutine; itself an event that triggers on completion.
+
+    The generator yields :class:`Event` objects; the process resumes when
+    each yielded event triggers, receiving the event's value.  The
+    process's own value is the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulation", generator: Generator):
+        super().__init__(sim)
+        self._generator = generator
+        # Kick off on the next simulation step.
+        sim._schedule(0.0, _Resume(self, None), None)
+
+    def _step(self, send_value) -> None:
+        try:
+            target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {target!r}; processes must yield Events"
+            )
+        target.add_callback(lambda event: self._step(event.value))
+
+
+class _Resume:
+    """Internal bootstrap token for starting a process."""
+
+    def __init__(self, process: Process, value):
+        self.process = process
+        self.value = value
+
+
+class Simulation:
+    """The event loop: a time-ordered queue of pending events."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list = []
+        self._sequence = 0
+
+    def _schedule(self, delay: float, item, value) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, item, value))
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register a generator as a running process."""
+        return Process(self, generator)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            time, _, item, value = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            if isinstance(item, _Resume):
+                item.process._step(item.value)
+            elif isinstance(item, Event):
+                item.trigger(value)
+            else:  # pragma: no cover - queue only holds the above
+                raise TypeError(f"unexpected queue item {item!r}")
+        return self.now
+
+    def all_of(self, events: List[Event]) -> Event:
+        """An event that triggers once every event in ``events`` has."""
+        gate = Event(self)
+        if not events:
+            self._schedule(0.0, gate, None)
+            return gate
+        remaining = [len(events)]
+
+        def on_done(_event: Event) -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                gate.trigger([e.value for e in events])
+
+        for event in events:
+            event.add_callback(on_done)
+        return gate
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    Usage inside a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            yield sim.timeout(holding_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: List[Event] = []
+        # Accounting for utilization metrics.
+        self._busy_integral = 0.0
+        self._queue_integral = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        elapsed = self.sim.now - self._last_change
+        self._busy_integral += elapsed * self.in_use
+        self._queue_integral += elapsed * len(self._waiting)
+        self._last_change = self.sim.now
+
+    def request(self) -> Event:
+        """An event that triggers when one capacity unit is granted."""
+        self._account()
+        grant = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.sim._schedule(0.0, grant, None)
+        else:
+            self._waiting.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Return one capacity unit, waking the next waiter if any."""
+        self._account()
+        if self.in_use <= 0:
+            raise RuntimeError(f"{self.name}: release without request")
+        if self._waiting:
+            grant = self._waiting.pop(0)
+            self.sim._schedule(0.0, grant, None)
+        else:
+            self.in_use -= 1
+
+    def busy_time(self) -> float:
+        """Capacity-unit-seconds of busy time so far."""
+        self._account()
+        return self._busy_integral
+
+    def queue_time(self) -> float:
+        """Waiter-seconds accumulated so far (queueing pressure)."""
+        self._account()
+        return self._queue_integral
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Mean fraction of capacity in use over ``elapsed`` (default: now)."""
+        window = self.sim.now if elapsed is None else elapsed
+        if window <= 0:
+            return 0.0
+        return self.busy_time() / (window * self.capacity)

@@ -1,0 +1,155 @@
+"""A block-based distributed filesystem (the HDFS stand-in).
+
+Files are split into fixed-size blocks placed round-robin with
+replication across nodes.  Reads prefer a local replica (data-local
+tasks); writes stream to the local disk and pipeline replicas over the
+network, matching how Hadoop and Spark consume storage on the paper's
+testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import Event
+
+#: HDFS-era default block size.
+DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class Block:
+    """One file block and the node indices holding its replicas."""
+
+    index: int
+    nbytes: int
+    replicas: List[int] = field(default_factory=list)
+
+
+@dataclass
+class FileHandle:
+    """Metadata for a stored file."""
+
+    path: str
+    size: int
+    blocks: List[Block]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class DistributedFileSystem:
+    """Namespace plus block placement over a :class:`Cluster`."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        block_bytes: int = DEFAULT_BLOCK_BYTES,
+        replication: int = 3,
+    ):
+        if block_bytes <= 0:
+            raise ValueError("block size must be positive")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.cluster = cluster
+        self.block_bytes = block_bytes
+        self.replication = min(replication, len(cluster))
+        self._files: Dict[str, FileHandle] = {}
+        self._next_block_node = 0
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def lookup(self, path: str) -> FileHandle:
+        if path not in self._files:
+            raise FileNotFoundError(path)
+        return self._files[path]
+
+    def delete(self, path: str) -> None:
+        self._files.pop(path, None)
+
+    def create(self, path: str, size: int) -> FileHandle:
+        """Allocate metadata for a file of ``size`` bytes.
+
+        Placement is round-robin: block *i* gets replicas on nodes
+        ``i, i+1, ... i+replication-1`` (mod cluster size).
+        """
+        if self.exists(path):
+            raise FileExistsError(path)
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        blocks = []
+        remaining = size
+        index = 0
+        while remaining > 0 or index == 0:
+            nbytes = min(self.block_bytes, remaining) if size > 0 else 0
+            primary = self._next_block_node
+            self._next_block_node = (self._next_block_node + 1) % len(self.cluster)
+            replicas = [
+                (primary + r) % len(self.cluster) for r in range(self.replication)
+            ]
+            blocks.append(Block(index=index, nbytes=nbytes, replicas=replicas))
+            remaining -= nbytes
+            index += 1
+            if size == 0:
+                break
+        handle = FileHandle(path=path, size=size, blocks=blocks)
+        self._files[path] = handle
+        return handle
+
+    def read_block(self, handle: FileHandle, block_index: int, reader_node: int) -> Event:
+        """Process event reading one block from ``reader_node``.
+
+        A local replica is read straight off the local disk; a remote one
+        adds a network transfer from the nearest replica holder.
+        """
+        block = handle.blocks[block_index]
+        sim = self.cluster.sim
+        if reader_node in block.replicas:
+            return self.cluster.node(reader_node).blocking_read(block.nbytes)
+        source = block.replicas[0]
+
+        def remote_read():
+            yield self.cluster.node(source).blocking_read(block.nbytes)
+            yield self.cluster.network.transfer(
+                self.cluster.node(source).name,
+                self.cluster.node(reader_node).name,
+                block.nbytes,
+            )
+
+        return sim.process(remote_read())
+
+    def write_file(self, path: str, size: int, writer_node: int) -> Event:
+        """Process event writing a whole file from ``writer_node``.
+
+        The writer streams each block to its local disk and pipelines
+        replica copies over the network to the replica holders.
+        """
+        handle = self.create(path, size)
+        sim = self.cluster.sim
+
+        def do_write():
+            for block in handle.blocks:
+                # Primary replica lands on the writer where possible.
+                if writer_node not in block.replicas and block.replicas:
+                    block.replicas[0] = writer_node
+                yield self.cluster.node(writer_node).blocking_write(block.nbytes)
+                for replica in block.replicas:
+                    if replica == writer_node:
+                        continue
+                    yield self.cluster.network.transfer(
+                        self.cluster.node(writer_node).name,
+                        self.cluster.node(replica).name,
+                        block.nbytes,
+                    )
+                    yield self.cluster.node(replica).blocking_write(block.nbytes)
+            return handle
+
+        return sim.process(do_write())
+
+    def blocks_on_node(self, handle: FileHandle, node_index: int) -> List[Block]:
+        """Blocks of ``handle`` with a replica on ``node_index``."""
+        return [b for b in handle.blocks if node_index in b.replicas]

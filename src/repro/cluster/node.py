@@ -1,0 +1,109 @@
+"""A cluster node: cores, memory, one disk, one NIC (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.disk import Disk
+from repro.cluster.events import Event, Resource, Simulation
+from repro.cluster.network import Nic
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware of one node, defaulting to the paper's testbed (Table 3):
+    one Xeon E5645 (6 cores @ 2.40 GHz), 32 GB memory, 8 TB of disk."""
+
+    cores: int = 6
+    frequency_ghz: float = 2.40
+    memory_gb: float = 32.0
+    disk_tb: float = 8.0
+    disk_bandwidth_mbps: float = 120.0
+    nic_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        for field_name in ("frequency_ghz", "memory_gb", "disk_tb"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+
+class Node:
+    """One shared-nothing node executing task processes."""
+
+    def __init__(self, sim: Simulation, name: str, spec: NodeSpec = NodeSpec()):
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.cores = Resource(sim, capacity=spec.cores, name=f"{name}-cores")
+        self.disk = Disk(
+            sim, name=f"{name}-disk", bandwidth_mbps=spec.disk_bandwidth_mbps
+        )
+        self.nic = Nic(sim, name=name, bandwidth_gbps=spec.nic_gbps)
+        self.memory_used_gb = 0.0
+        # Task-centric accounting for the §3.2.1 classification metrics.
+        self.cpu_time = 0.0
+        self.io_block_time = 0.0
+
+    def compute(self, seconds: float) -> Event:
+        """Process event for ``seconds`` of single-core computation."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+        def run():
+            grant = self.cores.request()
+            yield grant
+            try:
+                yield self.sim.timeout(seconds)
+                self.cpu_time += seconds
+            finally:
+                self.cores.release()
+
+        return self.sim.process(run())
+
+    def blocking_read(self, nbytes: int, sequential: bool = True) -> Event:
+        """Disk read during which the issuing task is I/O-blocked."""
+
+        def run():
+            start = self.sim.now
+            yield self.disk.read(nbytes, sequential=sequential)
+            self.io_block_time += self.sim.now - start
+
+        return self.sim.process(run())
+
+    def blocking_write(self, nbytes: int, sequential: bool = True) -> Event:
+        """Disk write during which the issuing task is I/O-blocked."""
+
+        def run():
+            start = self.sim.now
+            yield self.disk.write(nbytes, sequential=sequential)
+            self.io_block_time += self.sim.now - start
+
+        return self.sim.process(run())
+
+    def allocate_memory(self, gigabytes: float) -> None:
+        """Track memory pressure; raises when the node would swap."""
+        if gigabytes < 0:
+            raise ValueError("gigabytes must be non-negative")
+        if self.memory_used_gb + gigabytes > self.spec.memory_gb:
+            raise MemoryError(
+                f"{self.name}: {self.memory_used_gb + gigabytes:.1f} GB exceeds "
+                f"{self.spec.memory_gb:.1f} GB"
+            )
+        self.memory_used_gb += gigabytes
+
+    def free_memory(self, gigabytes: float) -> None:
+        self.memory_used_gb = max(0.0, self.memory_used_gb - gigabytes)
+
+    def cpu_utilization(self, elapsed: float) -> float:
+        """Fraction of core-seconds spent computing over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.cpu_time / (elapsed * self.spec.cores))
+
+    def io_wait_ratio(self, elapsed: float) -> float:
+        """Fraction of core-seconds spent blocked on disk I/O."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.io_block_time / (elapsed * self.spec.cores))

@@ -1,0 +1,131 @@
+"""HPCC 1.4 comparison suite (all seven benchmarks, per §4.3).
+
+HPC kernels: long vector loops, very high loop regularity, the highest
+IPC of the comparison set (the paper measures 1.5) and tiny
+instruction footprints.
+"""
+
+from __future__ import annotations
+
+from repro.comparison import kernels
+from repro.comparison.base import NativeBenchmark
+from repro.comparison.spec import shaped
+from repro.stacks.base import Meter
+from repro.uarch.isa import IntBreakdown
+from repro.uarch.profile import BranchProfile, DataFootprint
+
+_HPC_BREAKDOWN = IntBreakdown(int_addr=0.34, fp_addr=0.42, other=0.24)
+
+
+def _branches(trip: int = 128) -> BranchProfile:
+    return BranchProfile(
+        loop_fraction=0.88,
+        pattern_fraction=0.06,
+        data_dependent_fraction=0.06,
+        taken_prob=0.05,
+        loop_trip=trip,
+        indirect_fraction=0.001,
+        indirect_targets=2,
+        static_sites=96,
+    )
+
+
+def _data(stream_mb: float, state_mb: float, state_fraction: float,
+          zipf: float = 0.3, hot_fraction: float = 0.96,
+          reuse: float = 6.0) -> DataFootprint:
+    hot_fraction = min(hot_fraction, 1.0 - state_fraction)
+    return DataFootprint(
+        stream_bytes=int(stream_mb * 1024 * 1024),
+        state_bytes=int(state_mb * 1024 * 1024),
+        state_fraction=state_fraction,
+        hot_bytes=32 * 1024,
+        hot_fraction=hot_fraction,
+        stream_reuse=reuse,
+        state_zipf=zipf,
+    )
+
+
+_BALLAST = {"fp_op": 1.2, "mem_op": 0.5, "branch_op": 0.12}
+
+
+def _ptrans_kernel(meter: Meter, scale: float):
+    """Matrix transpose + add (PTRANS)."""
+    import numpy as np
+
+    n = max(64, int(160 * (scale ** 0.5)))
+    rng = np.random.default_rng(33)
+    a = rng.random((n, n))
+    meter.record_in(int(a.nbytes))
+    b = a.T + a
+    meter.ops(fp_op=float(n * n), array_access=float(2 * n * n))
+    return float(b.trace())
+
+
+def _beff_kernel(meter: Meter, scale: float):
+    """Effective-bandwidth style message churn (b_eff)."""
+    n = max(10_000, int(120_000 * scale))
+    meter.record_in(8 * n)
+    meter.record_shuffle(8 * n)
+    meter.ops(mem_op=float(2 * n), int_op=float(n), branch_op=float(n // 8), fp_op=float(n // 2))
+    return n
+
+
+HPCC = [
+    NativeBenchmark(
+        name="HPL",
+        kernel=shaped(kernels.linear_solve, **_BALLAST),
+        code_kb=18.0, library_kb=96.0, library_weight=0.008,
+        ilp=2.9, branches=_branches(256),
+        data=_data(8, 3, 0.010, reuse=8.0), int_breakdown=_HPC_BREAKDOWN,
+        threads=6,
+    ),
+    NativeBenchmark(
+        name="DGEMM",
+        kernel=shaped(kernels.dgemm, **_BALLAST),
+        code_kb=12.0, library_kb=64.0, library_weight=0.006,
+        ilp=3.1, branches=_branches(256),
+        data=_data(4, 2, 0.008, reuse=10.0), int_breakdown=_HPC_BREAKDOWN,
+        threads=6,
+    ),
+    NativeBenchmark(
+        name="STREAM",
+        kernel=shaped(kernels.stream_triad, **_BALLAST),
+        code_kb=6.0, library_kb=32.0, library_weight=0.004,
+        ilp=2.4, branches=_branches(512),
+        data=_data(64, 0.25, 0.004, hot_fraction=0.94, reuse=2.0),
+        int_breakdown=_HPC_BREAKDOWN, threads=6,
+    ),
+    NativeBenchmark(
+        name="PTRANS",
+        kernel=shaped(_ptrans_kernel, **_BALLAST),
+        code_kb=8.0, library_kb=48.0, library_weight=0.005,
+        ilp=2.4, branches=_branches(128),
+        data=_data(24, 3, 0.012, reuse=3.0), int_breakdown=_HPC_BREAKDOWN,
+        threads=6,
+    ),
+    NativeBenchmark(
+        name="RandomAccess",
+        kernel=shaped(kernels.random_access, int_op=0.5, array_access=0.3),
+        code_kb=6.0, library_kb=32.0, library_weight=0.004,
+        ilp=1.6, branches=_branches(64),
+        data=_data(2, 24, 0.020, zipf=0.05, hot_fraction=0.96, reuse=1.0),
+        int_breakdown=IntBreakdown(int_addr=0.72, fp_addr=0.05, other=0.23),
+        threads=6,
+    ),
+    NativeBenchmark(
+        name="FFT",
+        kernel=shaped(kernels.fft_kernel, **_BALLAST),
+        code_kb=14.0, library_kb=64.0, library_weight=0.006,
+        ilp=2.5, branches=_branches(128),
+        data=_data(16, 3, 0.012, reuse=3.0), int_breakdown=_HPC_BREAKDOWN,
+        threads=6,
+    ),
+    NativeBenchmark(
+        name="b_eff",
+        kernel=_beff_kernel,
+        code_kb=10.0, library_kb=80.0, library_weight=0.01,
+        ilp=2.1, branches=_branches(64),
+        data=_data(32, 1, 0.01, reuse=2.5), int_breakdown=_HPC_BREAKDOWN,
+        threads=6,
+    ),
+]

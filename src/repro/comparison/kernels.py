@@ -1,0 +1,327 @@
+"""Miniature computational kernels underlying the comparison suites.
+
+Each kernel really computes something (compression, shortest paths,
+dense algebra, stencils, transactions) over deterministic generated
+inputs and meters its abstract operations; suites compose them at
+suite-appropriate intensities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.stacks.base import Meter
+
+
+def _bytes_input(n: int, seed: int = 3) -> bytes:
+    rng = np.random.default_rng(seed)
+    # Compressible byte stream: runs of repeated symbols.
+    runs = rng.integers(1, 12, size=n // 4)
+    symbols = rng.integers(65, 91, size=n // 4)
+    return bytes(
+        int(symbol) for symbol, run in zip(symbols, runs) for _ in range(run)
+    )[:n]
+
+
+def rle_compress(meter: Meter, scale: float = 1.0) -> int:
+    """Run-length encoding (bzip2-like front end)."""
+    data = _bytes_input(max(4096, int(40_000 * scale)))
+    meter.record_in(len(data))
+    out: List[int] = []
+    previous = -1
+    run = 0
+    for byte in data:
+        if byte == previous:
+            run += 1
+        else:
+            if run:
+                out.append(run)
+                out.append(previous)
+            previous, run = byte, 1
+    out.append(run)
+    meter.ops(
+        str_byte=len(data), compare=len(data), int_op=len(data) // 2,
+        field_store=len(out),
+    )
+    meter.record_out(len(out))
+    return len(out)
+
+
+def fsm_parse(meter: Meter, scale: float = 1.0) -> int:
+    """Tokenising finite-state machine (perlbench/gcc-like)."""
+    rng = np.random.default_rng(5)
+    alphabet = "ab {}();="
+    text = "".join(alphabet[i] for i in rng.integers(0, len(alphabet), size=max(4096, int(30_000 * scale))))
+    meter.record_in(len(text))
+    state = 0
+    tokens = 0
+    for char in text:
+        if char.isalpha():
+            state = 1
+        elif char.isspace():
+            if state == 1:
+                tokens += 1
+            state = 0
+        else:
+            tokens += 1
+            state = 0
+    meter.ops(
+        str_byte=len(text), compare=2 * len(text), int_op=len(text) // 2,
+        hash=tokens,
+    )
+    return tokens
+
+
+def grid_sssp(meter: Meter, scale: float = 1.0) -> float:
+    """Dijkstra over a grid graph (mcf/astar-like pointer chasing)."""
+    import heapq
+
+    side = max(16, int(44 * math.sqrt(scale)))
+    rng = np.random.default_rng(7)
+    weights = rng.integers(1, 10, size=(side, side))
+    meter.record_in(int(weights.nbytes))
+    distance = {(0, 0): 0}
+    heap = [(0, (0, 0))]
+    visited = set()
+    relaxations = 0
+    while heap:
+        d, (x, y) = heapq.heappop(heap)
+        if (x, y) in visited:
+            continue
+        visited.add((x, y))
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if 0 <= nx < side and 0 <= ny < side:
+                relaxations += 1
+                candidate = d + int(weights[nx, ny])
+                if candidate < distance.get((nx, ny), 1 << 30):
+                    distance[(nx, ny)] = candidate
+                    heapq.heappush(heap, (candidate, (nx, ny)))
+    meter.ops(
+        compare=3 * relaxations, hash=2 * relaxations,
+        array_access=relaxations, int_op=relaxations,
+    )
+    return distance[(side - 1, side - 1)]
+
+
+def dp_align(meter: Meter, scale: float = 1.0) -> int:
+    """Sequence-alignment dynamic programming (hmmer-like)."""
+    rng = np.random.default_rng(9)
+    n = max(64, int(220 * math.sqrt(scale)))
+    a = rng.integers(0, 4, size=n)
+    b = rng.integers(0, 4, size=n)
+    meter.record_in(2 * n)
+    previous = np.zeros(n + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        current = np.zeros(n + 1, dtype=np.int64)
+        match = previous[:-1] + np.where(b == a[i - 1], 2, -1)
+        current[1:] = np.maximum.reduce(
+            [match, previous[1:] - 1, np.maximum.accumulate(current[:-1] - 1)[
+                : n
+            ]]
+        )
+        previous = current
+    meter.ops(
+        compare=3 * n * n, array_access=3 * n * n, int_op=2 * n * n,
+    )
+    return int(previous[-1])
+
+
+def game_search(meter: Meter, scale: float = 1.0) -> int:
+    """Alpha-beta game-tree search (sjeng/gobmk-like)."""
+    rng = np.random.default_rng(11)
+    depth = 7
+    branching = max(3, int(4 * scale) or 3)
+    nodes = [0]
+
+    def search(level: int, alpha: int, beta: int, state: int) -> int:
+        nodes[0] += 1
+        if level == 0:
+            return int((state * 2654435761) % 200) - 100
+        best = -1 << 20
+        for move in range(branching):
+            value = -search(level - 1, -beta, -alpha, state * branching + move)
+            if value > best:
+                best = value
+            if best > alpha:
+                alpha = best
+            if alpha >= beta:
+                break
+        return best
+
+    result = search(depth, -1 << 20, 1 << 20, int(rng.integers(1, 1000)))
+    meter.record_in(8 * nodes[0])
+    meter.ops(
+        compare=4 * nodes[0], call=nodes[0], int_op=3 * nodes[0],
+        array_access=nodes[0],
+    )
+    return result
+
+
+def hash_churn(meter: Meter, scale: float = 1.0) -> int:
+    """Hash-table insert/lookup mix (xalancbmk/omnetpp-like)."""
+    rng = np.random.default_rng(13)
+    n = max(4096, int(50_000 * scale))
+    keys = rng.integers(0, n // 2, size=n)
+    meter.record_in(int(keys.nbytes))
+    table: dict = {}
+    hits = 0
+    for key in keys.tolist():
+        if key in table:
+            table[key] += 1
+            hits += 1
+        else:
+            table[key] = 1
+    meter.ops(hash=2 * n, compare=n, int_op=n, alloc=len(table) // 8)
+    return hits
+
+
+# --- Floating-point kernels -------------------------------------------------
+
+def dgemm(meter: Meter, scale: float = 1.0) -> float:
+    """Dense matrix multiply (HPL/DGEMM)."""
+    n = max(48, int(120 * math.sqrt(scale)))
+    rng = np.random.default_rng(15)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    meter.record_in(int(a.nbytes + b.nbytes))
+    c = a @ b
+    meter.ops(fp_op=float(2 * n ** 3), array_access=float(n ** 2))
+    return float(c.sum())
+
+
+def stream_triad(meter: Meter, scale: float = 1.0) -> float:
+    """STREAM triad: a = b + s * c."""
+    n = max(10_000, int(400_000 * scale))
+    rng = np.random.default_rng(17)
+    b = rng.random(n)
+    c = rng.random(n)
+    meter.record_in(int(b.nbytes + c.nbytes))
+    a = b + 3.0 * c
+    meter.ops(fp_op=float(2 * n), array_access=float(3 * n))
+    meter.record_out(int(a.nbytes))
+    return float(a.sum())
+
+
+def fft_kernel(meter: Meter, scale: float = 1.0) -> float:
+    """1-D FFT (HPCC FFT / PARSEC-style transform)."""
+    n = 1 << max(10, int(13 + math.log2(max(scale, 0.1))))
+    rng = np.random.default_rng(19)
+    signal = rng.random(n)
+    meter.record_in(int(signal.nbytes))
+    spectrum = np.fft.rfft(signal)
+    meter.ops(fp_op=float(5 * n * math.log2(n)), array_access=float(2 * n))
+    return float(np.abs(spectrum).sum())
+
+
+def stencil2d(meter: Meter, scale: float = 1.0) -> float:
+    """Five-point Jacobi stencil (fluidanimate/facesim-like)."""
+    n = max(64, int(180 * math.sqrt(scale)))
+    rng = np.random.default_rng(21)
+    grid = rng.random((n, n))
+    meter.record_in(int(grid.nbytes))
+    for _ in range(8):
+        grid[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+    meter.ops(fp_op=float(8 * 4 * (n - 2) ** 2), array_access=float(8 * 5 * (n - 2) ** 2))
+    return float(grid.sum())
+
+
+def nbody(meter: Meter, scale: float = 1.0) -> float:
+    """All-pairs n-body step (swaptions/blackscholes-scale FP)."""
+    n = max(64, int(200 * math.sqrt(scale)))
+    rng = np.random.default_rng(23)
+    pos = rng.random((n, 3))
+    meter.record_in(int(pos.nbytes))
+    delta = pos[:, None, :] - pos[None, :, :]
+    dist2 = (delta ** 2).sum(axis=2) + 1e-9
+    force = (delta / dist2[:, :, None] ** 1.5).sum(axis=1)
+    meter.ops(fp_op=float(12 * n * n), array_access=float(3 * n * n))
+    return float(np.abs(force).sum())
+
+
+def random_access(meter: Meter, scale: float = 1.0) -> int:
+    """HPCC RandomAccess (GUPS): xor updates at random table slots."""
+    table_size = 1 << 16
+    n_updates = max(20_000, int(150_000 * scale))
+    rng = np.random.default_rng(25)
+    table = np.arange(table_size, dtype=np.int64)
+    indices = rng.integers(0, table_size, size=n_updates)
+    values = rng.integers(1, 1 << 30, size=n_updates)
+    meter.record_in(int(indices.nbytes))
+    np.bitwise_xor.at(table, indices, values)
+    meter.ops(array_access=float(2 * n_updates), int_op=float(n_updates))
+    return int(table.sum() & 0xFFFF)
+
+
+def monte_carlo(meter: Meter, scale: float = 1.0) -> float:
+    """Monte-Carlo pricing loop (swaptions-like)."""
+    n = max(20_000, int(200_000 * scale))
+    rng = np.random.default_rng(27)
+    draws = rng.normal(size=n)
+    meter.record_in(int(draws.nbytes))
+    payoff = np.maximum(0.0, 100.0 * np.exp(0.2 * draws) - 100.0)
+    meter.ops(fp_op=float(6 * n), compare=float(n))
+    return float(payoff.mean())
+
+
+def linear_solve(meter: Meter, scale: float = 1.0) -> float:
+    """Dense solve (HPL proper)."""
+    n = max(48, int(100 * math.sqrt(scale)))
+    rng = np.random.default_rng(29)
+    a = rng.random((n, n)) + n * np.eye(n)
+    b = rng.random(n)
+    meter.record_in(int(a.nbytes))
+    x = np.linalg.solve(a, b)
+    meter.ops(fp_op=float(2 * n ** 3 / 3), array_access=float(n * n))
+    return float(x.sum())
+
+
+def transaction_mix(meter: Meter, scale: float = 1.0) -> int:
+    """TPC-C-style new-order/payment transaction processing.
+
+    Maintains warehouse/district/stock dictionaries and processes a mix
+    of transactions with heavy per-transaction branching (the Switch-Case
+    style the paper attributes to service workloads).
+    """
+    rng = np.random.default_rng(31)
+    n_tx = max(2_000, int(12_000 * scale))
+    n_items = 2_000
+    stock = {i: 50 for i in range(n_items)}
+    balances = {w: 0.0 for w in range(16)}
+    committed = 0
+    kinds = rng.integers(0, 100, size=n_tx)
+    item_choices = rng.integers(0, n_items, size=(n_tx, 8))
+    for t in range(n_tx):
+        kind = kinds[t]
+        if kind < 45:  # new order
+            for item in item_choices[t][: 5 + kind % 4]:
+                item = int(item)
+                if stock[item] <= 0:
+                    stock[item] = 60
+                stock[item] -= 1
+            committed += 1
+        elif kind < 88:  # payment
+            warehouse = int(kind) % 16
+            balances[warehouse] += float(kind) * 0.5
+            committed += 1
+        else:  # stock-level query
+            low = sum(1 for item in item_choices[t] if stock[int(item)] < 20)
+            committed += 1 if low >= 0 else 0
+    meter.record_in(64 * n_tx)
+    meter.record_out(32 * committed)
+    meter.ops(
+        compare=float(22 * n_tx),
+        branch_op=float(14 * n_tx),
+        hash=float(6 * n_tx),
+        int_op=float(4 * n_tx),
+        mem_op=float(10 * n_tx),
+        field_store=float(4 * n_tx),
+        call=float(4 * n_tx),
+        fp_op=float(n_tx // 2),
+    )
+    return committed

@@ -1,0 +1,91 @@
+"""PARSEC 3.0 comparison suite (native inputs, all 12 benchmarks).
+
+Multi-threaded CMP workloads: small hot loops, an instruction footprint
+around 128 KB (the Figure 6 comparison point), shared working sets.
+"""
+
+from __future__ import annotations
+
+from repro.comparison import kernels
+from repro.comparison.base import NativeBenchmark
+from repro.comparison.spec import shaped
+from repro.uarch.isa import IntBreakdown
+from repro.uarch.profile import BranchProfile, DataFootprint
+
+_PARSEC_BREAKDOWN = IntBreakdown(int_addr=0.48, fp_addr=0.22, other=0.30)
+
+
+def _branches(data_dep: float = 0.20, taken: float = 0.10) -> BranchProfile:
+    loop = 0.85 - data_dep
+    return BranchProfile(
+        loop_fraction=loop,
+        pattern_fraction=0.15,
+        data_dependent_fraction=data_dep,
+        taken_prob=taken,
+        loop_trip=64,
+        indirect_fraction=0.006,
+        indirect_targets=2,
+        static_sites=256,
+    )
+
+
+def _data(stream_mb: float, state_mb: float, state_fraction: float,
+          zipf: float = 0.55, hot_fraction: float = 0.96) -> DataFootprint:
+    hot_fraction = min(hot_fraction, 1.0 - state_fraction)
+    return DataFootprint(
+        stream_bytes=int(stream_mb * 1024 * 1024),
+        state_bytes=int(state_mb * 1024 * 1024),
+        state_fraction=state_fraction,
+        hot_bytes=24 * 1024,
+        hot_fraction=hot_fraction,
+        stream_reuse=4.0,
+        state_zipf=zipf,
+    )
+
+
+_BALLAST = {"fp_op": 0.14, "mem_op": 0.25, "branch_op": 0.055, "int_op": 0.02}
+
+
+def _bench(name, kernel, *, ilp, data_dep=0.2, taken=0.1,
+           data_args=(8, 2, 0.03), code_kb=20.0, library_kb=108.0):
+    """PARSEC members share the ~128 KB total footprint of §5.4."""
+    return NativeBenchmark(
+        name=name,
+        kernel=shaped(kernel, **_BALLAST),
+        code_kb=code_kb,
+        library_kb=library_kb,
+        library_weight=0.018,
+        ilp=ilp,
+        branches=_branches(data_dep, taken),
+        data=_data(*data_args),
+        int_breakdown=_PARSEC_BREAKDOWN,
+        threads=6,
+    )
+
+
+PARSEC = [
+    _bench("blackscholes", kernels.monte_carlo, ilp=2.3, data_dep=0.08,
+           data_args=(6, 0.5, 0.015)),
+    _bench("bodytrack", kernels.nbody, ilp=1.9, data_dep=0.18,
+           data_args=(6, 2, 0.012)),
+    _bench("canneal", kernels.grid_sssp, ilp=1.2, data_dep=0.30, taken=0.2,
+           data_args=(2, 6, 0.015, 0.55, 0.97)),
+    _bench("dedup", kernels.rle_compress, ilp=1.7, data_dep=0.22,
+           data_args=(16, 2, 0.012)),
+    _bench("facesim", kernels.stencil2d, ilp=1.9, data_dep=0.10,
+           data_args=(16, 3, 0.012)),
+    _bench("ferret", kernels.hash_churn, ilp=1.6, data_dep=0.25,
+           data_args=(8, 3, 0.010, 0.6)),
+    _bench("fluidanimate", kernels.stencil2d, ilp=1.8, data_dep=0.12,
+           data_args=(12, 3, 0.012)),
+    _bench("freqmine", kernels.hash_churn, ilp=1.5, data_dep=0.24,
+           data_args=(8, 3, 0.010, 0.6)),
+    _bench("raytrace", kernels.nbody, ilp=1.8, data_dep=0.20,
+           data_args=(8, 3, 0.012)),
+    _bench("streamcluster", kernels.dgemm, ilp=2.0, data_dep=0.10,
+           data_args=(20, 2, 0.02)),
+    _bench("swaptions", kernels.monte_carlo, ilp=2.2, data_dep=0.08,
+           data_args=(4, 0.5, 0.015)),
+    _bench("x264", kernels.dp_align, ilp=1.9, data_dep=0.20,
+           data_args=(16, 2, 0.012)),
+]

@@ -1,0 +1,47 @@
+"""TPC-C comparison workload (tpcc-uva v1.2, per §4.3).
+
+Classic OLTP: short transactions over B-tree-resident tables with the
+highest branch ratio of any compared workload (the paper quotes 30%)
+and service-class front-end behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.comparison import kernels
+from repro.comparison.base import NativeBenchmark
+from repro.uarch.isa import IntBreakdown
+from repro.uarch.profile import BranchProfile, DataFootprint
+
+TPCC = [
+    NativeBenchmark(
+        name="TPC-C",
+        kernel=kernels.transaction_mix,
+        code_kb=26.0,
+        library_kb=1024.0,
+        library_weight=0.155,
+        library_warm_kb=160.0,
+        library_warm_share=0.80,
+        ilp=1.25,
+        branches=BranchProfile(
+            loop_fraction=0.20,
+            pattern_fraction=0.12,
+            data_dependent_fraction=0.68,
+            taken_prob=0.10,
+            loop_trip=8,
+            indirect_fraction=0.03,
+            indirect_targets=5,
+            static_sites=4096,
+        ),
+        data=DataFootprint(
+            stream_bytes=4 * 1024 * 1024,
+            state_bytes=6 * 1024 * 1024,  # tables + indexes
+            state_fraction=0.035,
+            hot_bytes=20 * 1024,
+            hot_fraction=0.925,
+            stream_reuse=2.0,
+            state_zipf=0.65,
+        ),
+        int_breakdown=IntBreakdown(int_addr=0.62, fp_addr=0.03, other=0.35),
+        threads=6,
+    ),
+]

@@ -1,0 +1,45 @@
+"""WCRT — the Workload Characterization and Reduction Tool (§2.2, §3).
+
+The paper's primary contribution: per-node profilers collect the
+45-metric characterization of every workload; the analyzer normalises
+the metrics to a Gaussian distribution, reduces dimensionality with
+principal component analysis, clusters with K-means, and selects one
+representative workload per cluster — reducing BigDataBench's 77
+workloads to 17.
+"""
+
+from repro.core.normalize import gaussian_normalize, NormalizationModel
+from repro.core.pca import PcaModel, fit_pca
+from repro.core.kmeans import KMeansModel, fit_kmeans, choose_k_bic
+from repro.core.subsetting import ReductionResult, reduce_workloads
+from repro.core.profiler import Profiler, ProfileRecord
+from repro.core.analyzer import Analyzer
+from repro.core.independent import (
+    INDEPENDENT_METRIC_NAMES,
+    adjusted_rand_index,
+    independent_matrix,
+    independent_vector,
+    reduce_workloads_independent,
+)
+from repro.core.wcrt import Wcrt
+
+__all__ = [
+    "gaussian_normalize",
+    "NormalizationModel",
+    "PcaModel",
+    "fit_pca",
+    "KMeansModel",
+    "fit_kmeans",
+    "choose_k_bic",
+    "ReductionResult",
+    "reduce_workloads",
+    "Profiler",
+    "ProfileRecord",
+    "Analyzer",
+    "Wcrt",
+    "INDEPENDENT_METRIC_NAMES",
+    "adjusted_rand_index",
+    "independent_matrix",
+    "independent_vector",
+    "reduce_workloads_independent",
+]

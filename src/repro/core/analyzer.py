@@ -1,0 +1,144 @@
+"""The WCRT performance-data analyzer (§2.2).
+
+"The analyzer is deployed on a dedicated node that does not run other
+workloads.  After collecting the performance data from all profilers,
+the analyzer processes them using statistical and visual functions."
+
+The statistical functions are the Gaussian normalisation and PCA of
+§3; the visual functions render text summaries (metric tables and
+distribution sketches) suitable for terminals and reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.profiler import ProfileRecord
+from repro.core.subsetting import ReductionResult, reduce_workloads
+from repro.uarch.counters import METRIC_NAMES
+
+
+class Analyzer:
+    """Aggregates profiler records and runs the reduction pipeline."""
+
+    def __init__(self, metric_names: Optional[Sequence[str]] = None):
+        self.metric_names = (
+            list(metric_names) if metric_names is not None else list(METRIC_NAMES)
+        )
+        self._records: List[ProfileRecord] = []
+
+    # ---- collection ------------------------------------------------------
+    def collect(self, record: ProfileRecord) -> None:
+        """Receive one record from a profiler."""
+        if record.metrics.shape[0] != len(self.metric_names):
+            raise ValueError(
+                f"record has {record.metrics.shape[0]} metrics, analyzer "
+                f"expects {len(self.metric_names)}"
+            )
+        if any(r.workload_id == record.workload_id for r in self._records):
+            raise ValueError(f"duplicate record for {record.workload_id!r}")
+        self._records.append(record)
+
+    def collect_all(self, records: Sequence[ProfileRecord]) -> None:
+        for record in records:
+            self.collect(record)
+
+    @property
+    def n_records(self) -> int:
+        return len(self._records)
+
+    @property
+    def workload_ids(self) -> List[str]:
+        return [record.workload_id for record in self._records]
+
+    def metric_matrix(self) -> np.ndarray:
+        """(workloads x metrics) raw matrix in collection order."""
+        if not self._records:
+            raise ValueError("no records collected")
+        return np.vstack([record.metrics for record in self._records])
+
+    # ---- statistical functions --------------------------------------------
+    def reduce(self, k: Optional[int] = 17, seed: int = 0) -> ReductionResult:
+        """Run normalisation → PCA → K-means → subsetting."""
+        return reduce_workloads(
+            self.workload_ids, self.metric_matrix(), k=k, seed=seed
+        )
+
+    def metric_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric mean/std/min/max across collected workloads."""
+        matrix = self.metric_matrix()
+        summary = {}
+        for i, name in enumerate(self.metric_names):
+            column = matrix[:, i]
+            summary[name] = {
+                "mean": float(column.mean()),
+                "std": float(column.std()),
+                "min": float(column.min()),
+                "max": float(column.max()),
+            }
+        return summary
+
+    # ---- visual functions ----------------------------------------------------
+    def render_metric_table(self, metrics: Sequence[str]) -> str:
+        """A fixed-width text table of selected metrics per workload."""
+        indices = [self.metric_names.index(m) for m in metrics]
+        header = f"{'workload':24s}" + "".join(f"{m:>18s}" for m in metrics)
+        lines = [header, "-" * len(header)]
+        for record in self._records:
+            row = f"{record.workload_id:24s}" + "".join(
+                f"{record.metrics[i]:18.4f}" for i in indices
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+    def render_pca_scatter(
+        self,
+        reduction=None,
+        width: int = 64,
+        height: int = 20,
+    ) -> str:
+        """ASCII scatter of the workloads in the first two principal
+        components, labelled by cluster (one letter per cluster)."""
+        if reduction is None:
+            reduction = self.reduce()
+        normalized = reduction.normalization.transform(self.metric_matrix())
+        projected = reduction.pca.transform(normalized)[:, :2]
+        if projected.shape[1] < 2:
+            # A single retained component: plot it against a zero axis.
+            projected = np.column_stack(
+                [projected[:, 0], np.zeros(projected.shape[0])]
+            )
+        x, y = projected[:, 0], projected[:, 1]
+        x_min, x_max = float(x.min()), float(x.max())
+        y_min, y_max = float(y.min()), float(y.max())
+        x_span = max(1e-9, x_max - x_min)
+        y_span = max(1e-9, y_max - y_min)
+        grid = [[" "] * width for _ in range(height)]
+        letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+        for i, name in enumerate(self.workload_ids):
+            column = int((x[i] - x_min) / x_span * (width - 1))
+            row = int((y[i] - y_min) / y_span * (height - 1))
+            cluster = int(reduction.labels[i]) % len(letters)
+            grid[height - 1 - row][column] = letters[cluster]
+        lines = ["PCA scatter (PC1 x PC2), letters = clusters"]
+        lines += ["|" + "".join(row) + "|" for row in grid]
+        legend = ", ".join(
+            f"{letters[int(reduction.labels[self.workload_ids.index(rep)]) % len(letters)]}={rep}"
+            for rep in reduction.representatives[:10]
+        )
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+    def render_distribution(self, metric: str, bins: int = 10, width: int = 40) -> str:
+        """An ASCII histogram of one metric across workloads."""
+        index = self.metric_names.index(metric)
+        values = self.metric_matrix()[:, index]
+        counts, edges = np.histogram(values, bins=bins)
+        peak = max(1, counts.max())
+        lines = [f"{metric} distribution ({len(values)} workloads)"]
+        for count, low, high in zip(counts, edges[:-1], edges[1:]):
+            bar = "#" * int(round(width * count / peak))
+            lines.append(f"  [{low:10.3f}, {high:10.3f}) {bar} {count}")
+        return "\n".join(lines)

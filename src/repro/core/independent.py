@@ -1,0 +1,159 @@
+"""Microarchitecture-independent workload characterization.
+
+The paper closes §6 with: "We will perform system-independent
+characterization work on representative big data workloads in near
+future", citing Hoste & Eeckhout (IEEE Micro 2007) and Eeckhout et al.
+This module implements that extension: a metric vector derived purely
+from the workload's behaviour model — instruction mix, inherent ILP,
+branch-stream statistics, code/data footprints, reuse behaviour and
+operation intensity — with no cache geometry, predictor organisation or
+pipeline width anywhere in the loop.
+
+:func:`independent_vector` extracts the metrics from a
+:class:`repro.uarch.profile.BehaviorProfile`;
+:func:`reduce_workloads_independent` runs the same normalisation → PCA
+→ K-means pipeline WCRT uses on the microarchitecture-dependent
+metrics; :func:`adjusted_rand_index` quantifies how well the two
+clusterings agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.subsetting import ReductionResult, reduce_workloads
+from repro.uarch.isa import InstructionClass
+from repro.uarch.profile import BehaviorProfile
+
+#: Names of the microarchitecture-independent metrics, in vector order.
+INDEPENDENT_METRIC_NAMES: List[str] = [
+    # instruction mix (6)
+    "ratio_load",
+    "ratio_store",
+    "ratio_branch",
+    "ratio_integer",
+    "ratio_fp",
+    "ratio_other",
+    # integer purpose (2)
+    "int_addr_share",
+    "fp_addr_share",
+    # inherent parallelism (1)
+    "ilp",
+    # branch-stream statistics (5)
+    "branch_loop_fraction",
+    "branch_data_dependent_fraction",
+    "branch_taken_bias",
+    "branch_indirect_fraction",
+    "log_branch_sites",
+    # footprints and locality (6)
+    "log_code_footprint",
+    "code_hot_concentration",
+    "log_data_state",
+    "log_data_stream",
+    "data_state_fraction",
+    "data_state_skew",
+    # operation intensity (3)
+    "instructions_per_byte",
+    "fp_ops_per_byte",
+    "log_instructions",
+]
+
+
+def independent_vector(profile: BehaviorProfile) -> np.ndarray:
+    """The microarchitecture-independent metric vector of a profile.
+
+    Every quantity is a property of the program + data, not of any
+    machine: footprints are static sizes, branch statistics describe the
+    outcome stream, ILP is the dependence-distance bound.
+    """
+    ratios = profile.mix.ratios()
+    weights = profile.code.normalized_weights()
+    # Hot concentration: fetch share of the single hottest region — a
+    # geometry-free proxy for instruction locality.
+    hot_concentration = max(weights)
+    branches = profile.branches
+    taken_bias = (
+        branches.loop_fraction * (1.0 - 1.0 / branches.loop_trip)
+        + branches.pattern_fraction * 0.75
+        + branches.data_dependent_fraction * branches.taken_prob
+    )
+    data = profile.data
+
+    values: Dict[str, float] = {
+        "ratio_load": ratios[InstructionClass.LOAD],
+        "ratio_store": ratios[InstructionClass.STORE],
+        "ratio_branch": ratios[InstructionClass.BRANCH],
+        "ratio_integer": ratios[InstructionClass.INTEGER],
+        "ratio_fp": ratios[InstructionClass.FP],
+        "ratio_other": ratios[InstructionClass.OTHER],
+        "int_addr_share": profile.int_breakdown.int_addr,
+        "fp_addr_share": profile.int_breakdown.fp_addr,
+        "ilp": profile.ilp,
+        "branch_loop_fraction": branches.loop_fraction,
+        "branch_data_dependent_fraction": branches.data_dependent_fraction,
+        "branch_taken_bias": taken_bias,
+        "branch_indirect_fraction": branches.indirect_fraction,
+        "log_branch_sites": math.log2(branches.static_sites),
+        "log_code_footprint": math.log2(max(1, profile.code.total_bytes)),
+        "code_hot_concentration": hot_concentration,
+        "log_data_state": math.log2(max(1, data.state_bytes + data.hot_bytes)),
+        "log_data_stream": math.log2(max(1, data.stream_bytes)),
+        "data_state_fraction": data.state_fraction,
+        "data_state_skew": data.state_zipf,
+        "instructions_per_byte": profile.instructions / profile.bytes_processed,
+        "fp_ops_per_byte": profile.fp_ops / profile.bytes_processed,
+        "log_instructions": math.log2(max(2, profile.instructions)),
+    }
+    return np.array([values[name] for name in INDEPENDENT_METRIC_NAMES])
+
+
+def independent_matrix(profiles: Sequence[BehaviorProfile]) -> np.ndarray:
+    """(workloads x metrics) matrix for a profile population."""
+    if not profiles:
+        raise ValueError("need at least one profile")
+    return np.vstack([independent_vector(p) for p in profiles])
+
+
+def reduce_workloads_independent(
+    names: Sequence[str],
+    profiles: Sequence[BehaviorProfile],
+    k: Optional[int] = 17,
+    seed: int = 0,
+) -> ReductionResult:
+    """The WCRT reduction on microarchitecture-independent metrics."""
+    return reduce_workloads(names, independent_matrix(profiles), k=k, seed=seed)
+
+
+def adjusted_rand_index(labels_a: Sequence[int], labels_b: Sequence[int]) -> float:
+    """Agreement between two clusterings, chance-corrected (Hubert &
+    Arabie's ARI): 1 = identical partitions, ~0 = random agreement."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError("label vectors must have equal length")
+    n = labels_a.shape[0]
+    if n < 2:
+        raise ValueError("need at least two points")
+
+    classes_a = np.unique(labels_a)
+    classes_b = np.unique(labels_b)
+    contingency = np.zeros((classes_a.size, classes_b.size), dtype=np.int64)
+    for i, a in enumerate(classes_a):
+        for j, b in enumerate(classes_b):
+            contingency[i, j] = int(((labels_a == a) & (labels_b == b)).sum())
+
+    def comb2(x: np.ndarray) -> float:
+        return float((x * (x - 1) // 2).sum())
+
+    sum_cells = comb2(contingency)
+    sum_rows = comb2(contingency.sum(axis=1))
+    sum_cols = comb2(contingency.sum(axis=0))
+    total = n * (n - 1) / 2
+    expected = sum_rows * sum_cols / total
+    maximum = (sum_rows + sum_cols) / 2
+    if math.isclose(maximum, expected):
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)

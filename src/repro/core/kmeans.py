@@ -1,0 +1,169 @@
+"""K-means clustering with k-means++ seeding and BIC model selection.
+
+§3 of the paper: "Finally we use K-Means to cluster the 77 workloads,
+and there are 17 clusters in the final results."  The companion work
+(Jia et al., IISWC'14) selects K with the Bayesian Information
+Criterion; :func:`choose_k_bic` reproduces that selection rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class KMeansModel:
+    """A fitted clustering.
+
+    Attributes:
+        centroids: (k, d) cluster centres.
+        labels: Cluster index per input row.
+        inertia: Sum of squared distances to assigned centroids.
+        n_iterations: Lloyd iterations until convergence.
+    """
+
+    centroids: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centroids.shape[0]
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Nearest-centroid assignment for new points."""
+        points = np.asarray(points, dtype=float)
+        distances = _pairwise_sq(points, self.centroids)
+        return distances.argmin(axis=1)
+
+
+def _pairwise_sq(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances, (n, k)."""
+    return ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+
+
+def _kmeans_pp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centres by D² sampling."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = ((points - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 1e-18:
+            # All remaining points coincide with a centre; pick randomly.
+            centers[i] = points[int(rng.integers(n))]
+            continue
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[i] = points[choice]
+        closest_sq = np.minimum(
+            closest_sq, ((points - centers[i]) ** 2).sum(axis=1)
+        )
+    return centers
+
+
+def fit_kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    n_restarts: int = 8,
+    max_iterations: int = 300,
+    tolerance: float = 1e-8,
+) -> KMeansModel:
+    """Lloyd's algorithm with k-means++ restarts; returns the best fit."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    rng = np.random.default_rng(seed)
+    best: Optional[KMeansModel] = None
+    for _restart in range(max(1, n_restarts)):
+        centers = _kmeans_pp_init(points, k, rng)
+        labels = np.zeros(n, dtype=int)
+        for iteration in range(1, max_iterations + 1):
+            distances = _pairwise_sq(points, centers)
+            labels = distances.argmin(axis=1)
+            new_centers = centers.copy()
+            for cluster in range(k):
+                members = points[labels == cluster]
+                if len(members):
+                    new_centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the farthest point.
+                    farthest = distances.min(axis=1).argmax()
+                    new_centers[cluster] = points[farthest]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift < tolerance:
+                break
+        inertia = float(
+            _pairwise_sq(points, centers)[np.arange(n), labels].sum()
+        )
+        candidate = KMeansModel(
+            centroids=centers, labels=labels, inertia=inertia,
+            n_iterations=iteration,
+        )
+        if best is None or candidate.inertia < best.inertia:
+            best = candidate
+    return best
+
+
+def bic_score(points: np.ndarray, model: KMeansModel) -> float:
+    """Bayesian Information Criterion of a clustering (x-means form).
+
+    Higher is better.  Uses the spherical-Gaussian likelihood of
+    Pelleg & Moore's x-means, the standard BIC for K-means model
+    selection (and the criterion the BigDataBench subsetting work uses).
+    """
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    k = model.k
+    if n <= k:
+        return -math.inf
+    variance = model.inertia / (d * (n - k))
+    if variance <= 0:
+        variance = 1e-12
+    log_likelihood = 0.0
+    for cluster in range(k):
+        size = int((model.labels == cluster).sum())
+        if size == 0:
+            continue
+        log_likelihood += (
+            size * math.log(size / n)
+            - size * d / 2.0 * math.log(2 * math.pi * variance)
+            - (size - 1) * d / 2.0
+        )
+    n_parameters = k * (d + 1)
+    return log_likelihood - n_parameters / 2.0 * math.log(n)
+
+
+def choose_k_bic(
+    points: np.ndarray,
+    k_min: int = 2,
+    k_max: int = 30,
+    seed: int = 0,
+) -> int:
+    """Pick K by maximising the BIC over a range."""
+    points = np.asarray(points, dtype=float)
+    k_max = min(k_max, points.shape[0] - 1)
+    if k_max < k_min:
+        raise ValueError("k range is empty for this matrix")
+    best_k, best_score = k_min, -math.inf
+    for k in range(k_min, k_max + 1):
+        model = fit_kmeans(points, k, seed=seed, n_restarts=4)
+        score = bic_score(points, model)
+        if score > best_score:
+            best_k, best_score = k, score
+    return best_k

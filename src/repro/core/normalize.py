@@ -1,0 +1,56 @@
+"""Gaussian normalisation of metric matrices (§3 of the paper).
+
+"We normalize these metric values to a Gaussian distribution": each
+metric column is standardised to zero mean and unit variance so that
+metrics with large numeric ranges (MPKI values) do not dominate ratios
+in the PCA that follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class NormalizationModel:
+    """Per-column mean/std captured from a fitted matrix."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Standardise ``matrix`` using the fitted statistics."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.mean.shape[0]:
+            raise ValueError(
+                f"expected (n, {self.mean.shape[0]}) matrix, got {matrix.shape}"
+            )
+        return (matrix - self.mean) / self.std
+
+    def inverse(self, matrix: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
+        return np.asarray(matrix, dtype=float) * self.std + self.mean
+
+
+def gaussian_normalize(matrix: np.ndarray) -> tuple:
+    """Fit and apply column standardisation.
+
+    Columns with zero variance (a metric identical for every workload)
+    are mapped to zero rather than dividing by zero.
+
+    Returns ``(normalized_matrix, model)``.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D (workloads x metrics) matrix")
+    if matrix.shape[0] < 2:
+        raise ValueError("need at least two workloads to normalise")
+    if not np.isfinite(matrix).all():
+        raise ValueError("metric matrix contains non-finite values")
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std = np.where(std < 1e-12, 1.0, std)
+    model = NormalizationModel(mean=mean, std=std)
+    return model.transform(matrix), model

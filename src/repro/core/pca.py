@@ -1,0 +1,90 @@
+"""Principal component analysis (§3: "use PCA to reduce the dimensions").
+
+Implemented from first principles on the covariance eigen-decomposition
+(no scikit-learn): components are the eigenvectors of the covariance
+matrix of the normalised metrics, ordered by explained variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PcaModel:
+    """A fitted PCA basis.
+
+    Attributes:
+        components: (k, d) matrix; rows are principal directions.
+        explained_variance: Eigenvalues for the kept components.
+        explained_variance_ratio: Eigenvalue shares of total variance.
+        mean: Column means removed before projection.
+    """
+
+    components: np.ndarray
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+    mean: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[0]
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Project rows of ``matrix`` onto the principal components."""
+        matrix = np.asarray(matrix, dtype=float)
+        return (matrix - self.mean) @ self.components.T
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Reconstruct (lossily) from component space."""
+        return np.asarray(projected, dtype=float) @ self.components + self.mean
+
+
+def fit_pca(
+    matrix: np.ndarray,
+    n_components: int = None,
+    variance_to_keep: float = 0.90,
+) -> PcaModel:
+    """Fit PCA on a (workloads x metrics) matrix.
+
+    When ``n_components`` is None, keeps the smallest number of
+    components whose cumulative explained variance reaches
+    ``variance_to_keep`` (the conventional choice in the workload-
+    subsetting literature the paper builds on, e.g. Phansalkar et al.).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    n_rows, n_cols = matrix.shape
+    if n_rows < 2:
+        raise ValueError("need at least two rows to fit PCA")
+    if not 0.0 < variance_to_keep <= 1.0:
+        raise ValueError("variance_to_keep must be in (0, 1]")
+
+    mean = matrix.mean(axis=0)
+    centered = matrix - mean
+    covariance = (centered.T @ centered) / (n_rows - 1)
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    # eigh returns ascending order; we want descending.
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.maximum(eigenvalues[order], 0.0)
+    eigenvectors = eigenvectors[:, order]
+
+    total = eigenvalues.sum()
+    if total <= 0:
+        raise ValueError("matrix has no variance to analyse")
+    ratios = eigenvalues / total
+
+    if n_components is None:
+        cumulative = np.cumsum(ratios)
+        n_components = int(np.searchsorted(cumulative, variance_to_keep) + 1)
+    n_components = max(1, min(n_components, n_cols, n_rows - 1))
+
+    return PcaModel(
+        components=eigenvectors[:, :n_components].T.copy(),
+        explained_variance=eigenvalues[:n_components].copy(),
+        explained_variance_ratio=ratios[:n_components].copy(),
+        mean=mean,
+    )

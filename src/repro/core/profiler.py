@@ -1,0 +1,76 @@
+"""The WCRT profiler (§2.2).
+
+"On each node, a profiler is deployed to characterize workloads running
+on it.  The profiler collects performance metrics specified by users
+once a workload begins to run, and transfers the collected data to the
+performance data analyzer when the workload completes."
+
+Here a profiler wraps the execution of a workload definition plus the
+micro-architecture characterization on a platform, producing one
+:class:`ProfileRecord` per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.uarch.counters import METRIC_NAMES, PerfCounters, characterize
+from repro.uarch.platforms import XEON_E5645, Platform
+from repro.workloads.base import WorkloadDefinition
+
+
+@dataclass
+class ProfileRecord:
+    """One workload's collected metrics, as shipped to the analyzer."""
+
+    workload_id: str
+    metrics: np.ndarray
+    counters: PerfCounters
+    node: str = "node0"
+
+    def metric(self, name: str) -> float:
+        """Value of one named metric."""
+        return float(self.metrics[METRIC_NAMES.index(name)])
+
+
+class Profiler:
+    """Characterizes workloads assigned to one (simulated) node."""
+
+    def __init__(
+        self,
+        node: str = "node0",
+        platform: Platform = XEON_E5645,
+        scale: float = 0.5,
+        metric_names: Optional[Sequence[str]] = None,
+    ):
+        self.node = node
+        self.platform = platform
+        self.scale = scale
+        self.metric_names = (
+            list(metric_names) if metric_names is not None else list(METRIC_NAMES)
+        )
+        unknown = set(self.metric_names) - set(METRIC_NAMES)
+        if unknown:
+            raise ValueError(f"unknown metrics requested: {sorted(unknown)}")
+
+    def profile(self, definition: WorkloadDefinition, seed: int = 0) -> ProfileRecord:
+        """Run one workload and collect its metric vector."""
+        result = definition.runner(scale=self.scale, seed=seed)
+        counters = characterize(result.profile, self.platform, seed=1234 + seed)
+        all_metrics = counters.metric_dict()
+        metrics = np.array([all_metrics[name] for name in self.metric_names])
+        return ProfileRecord(
+            workload_id=definition.workload_id,
+            metrics=metrics,
+            counters=counters,
+            node=self.node,
+        )
+
+    def profile_many(
+        self, definitions: Sequence[WorkloadDefinition], seed: int = 0
+    ) -> List[ProfileRecord]:
+        """Profile a batch of workloads on this node."""
+        return [self.profile(definition, seed=seed) for definition in definitions]

@@ -1,0 +1,61 @@
+"""The WCRT facade: deploy profilers, gather, analyse, reduce.
+
+Mirrors the tool architecture of §2.2: one profiler per cluster node,
+each characterizing its share of the workload population, feeding a
+dedicated analyzer.  The outcome is the §3 reduction result (77 → 17
+with K = 17).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.analyzer import Analyzer
+from repro.core.profiler import Profiler
+from repro.core.subsetting import ReductionResult
+from repro.uarch.platforms import XEON_E5645, Platform
+from repro.workloads.base import WorkloadDefinition
+
+
+class Wcrt:
+    """The Workload Characterization and Reduction Tool."""
+
+    def __init__(
+        self,
+        n_profilers: int = 5,
+        platform: Platform = XEON_E5645,
+        scale: float = 0.5,
+    ):
+        if n_profilers < 1:
+            raise ValueError("need at least one profiler")
+        self.platform = platform
+        self.profilers = [
+            Profiler(node=f"node{i}", platform=platform, scale=scale)
+            for i in range(n_profilers)
+        ]
+        self.analyzer = Analyzer()
+
+    def characterize(
+        self, definitions: Sequence[WorkloadDefinition], seed: int = 0
+    ) -> Analyzer:
+        """Profile every workload (round-robin over profilers)."""
+        for i, definition in enumerate(definitions):
+            profiler = self.profilers[i % len(self.profilers)]
+            record = profiler.profile(definition, seed=seed)
+            self.analyzer.collect(record)
+        return self.analyzer
+
+    def reduce(
+        self,
+        definitions: Sequence[WorkloadDefinition],
+        k: Optional[int] = 17,
+        seed: int = 0,
+    ) -> ReductionResult:
+        """Characterize (if needed) and reduce the population."""
+        already = set(self.analyzer.workload_ids)
+        pending: List[WorkloadDefinition] = [
+            d for d in definitions if d.workload_id not in already
+        ]
+        if pending:
+            self.characterize(pending, seed=seed)
+        return self.analyzer.reduce(k=k, seed=seed)

@@ -1,0 +1,34 @@
+"""BDGS-style synthetic data generation (Table 1 of the paper).
+
+BigDataBench scales seven seed datasets with its Big Data Generator
+Suite (BDGS); this package reproduces the generators' distributional
+behaviour — Zipfian text, power-law graphs, relational tables and a
+TPC-DS-like star schema — at configurable scale and with deterministic
+seeding.
+"""
+
+from repro.datagen.text import TextGenerator, WikipediaCorpus, AmazonReviews
+from repro.datagen.graph import GraphGenerator, GoogleWebGraph, FacebookSocialGraph
+from repro.datagen.table import (
+    EcommerceTransactions,
+    ProfSearchResumes,
+    TableGenerator,
+)
+from repro.datagen.tpcds import TpcDsWebTables
+from repro.datagen.seeds import DATASETS, DatasetSpec, dataset
+
+__all__ = [
+    "TextGenerator",
+    "WikipediaCorpus",
+    "AmazonReviews",
+    "GraphGenerator",
+    "GoogleWebGraph",
+    "FacebookSocialGraph",
+    "TableGenerator",
+    "EcommerceTransactions",
+    "ProfSearchResumes",
+    "TpcDsWebTables",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset",
+]

@@ -1,0 +1,101 @@
+"""The dataset catalog of Table 1.
+
+Maps each of the paper's seven seed datasets to its generator, seed
+statistics and the record size quoted in Table 2, so workloads and
+benches can request data by name at any scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.datagen.graph import FacebookSocialGraph, GoogleWebGraph
+from repro.datagen.table import EcommerceTransactions, ProfSearchResumes
+from repro.datagen.text import AmazonReviews, WikipediaCorpus
+from repro.datagen.tpcds import TpcDsWebTables
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of Table 1.
+
+    Attributes:
+        name: Catalog key.
+        description: The paper's description of the seed.
+        generator_tool: Which BDGS generator scales it.
+        record_bytes: Typical K-V record size (from Table 2).
+        factory: Builds the generator (seed keyword supported).
+    """
+
+    name: str
+    description: str
+    generator_tool: str
+    record_bytes: int
+    factory: Callable
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "wikipedia": DatasetSpec(
+        name="wikipedia",
+        description="Wikipedia Entries: 4,300,000 English articles",
+        generator_tool="Text Generator of BDGS",
+        record_bytes=64 * 1024,
+        factory=WikipediaCorpus,
+    ),
+    "amazon": DatasetSpec(
+        name="amazon",
+        description="Amazon Movie Reviews: 7,911,684 reviews",
+        generator_tool="Text Generator of BDGS",
+        record_bytes=52 * 1024,
+        factory=AmazonReviews,
+    ),
+    "google_graph": DatasetSpec(
+        name="google_graph",
+        description="Google Web Graph: 875,713 nodes, 5,105,039 edges",
+        generator_tool="Graph Generator of BDGS",
+        record_bytes=6 * 1024,
+        factory=GoogleWebGraph,
+    ),
+    "facebook_graph": DatasetSpec(
+        name="facebook_graph",
+        description="Facebook Social Network: 4,039 nodes, 88,234 edges",
+        generator_tool="Graph Generator of BDGS",
+        record_bytes=94,
+        factory=FacebookSocialGraph,
+    ),
+    "ecommerce": DatasetSpec(
+        name="ecommerce",
+        description=(
+            "E-commerce Transaction Data: Table 1 (4 columns, 38,658 rows), "
+            "Table 2 (6 columns, 242,735 rows)"
+        ),
+        generator_tool="Table Generator of BDGS",
+        record_bytes=52,
+        factory=EcommerceTransactions,
+    ),
+    "profsearch": DatasetSpec(
+        name="profsearch",
+        description="ProfSearch Person Resumes: 278,956 resumes",
+        generator_tool="Table Generator of BDGS",
+        record_bytes=1128,
+        factory=ProfSearchResumes,
+    ),
+    "tpcds_web": DatasetSpec(
+        name="tpcds_web",
+        description="TPC-DS WebTable Data: 26 tables",
+        generator_tool="TPC DSGen",
+        record_bytes=14 * 1024,
+        factory=TpcDsWebTables,
+    ),
+}
+
+
+def dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by catalog key."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,128 @@
+"""Zipfian text generation (the BDGS Text Generator).
+
+Natural-language corpora have Zipf-distributed word frequencies; the
+BDGS text generator preserves exactly that property when scaling the
+Wikipedia and Amazon Movie Review seeds.  We synthesise a vocabulary of
+pronounceable word tokens and draw documents whose word frequencies
+follow Zipf's law, which is what the text workloads (WordCount, Grep,
+Sort, Naive Bayes) are sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+_SYLLABLES = (
+    "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu "
+    "ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su "
+    "ta te ti to tu va ve vi vo vu za ze zi zo zu"
+).split()
+
+
+def _make_vocabulary(size: int, rng: np.random.Generator) -> List[str]:
+    """Deterministic pronounceable vocabulary of ``size`` distinct words."""
+    words = []
+    seen = set()
+    while len(words) < size:
+        n_syllables = int(rng.integers(1, 5))
+        word = "".join(rng.choice(_SYLLABLES) for _ in range(n_syllables))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+@dataclass(frozen=True)
+class TextConfig:
+    """Shape of a generated corpus."""
+
+    vocabulary_size: int = 5000
+    zipf_exponent: float = 1.1
+    mean_words_per_doc: int = 120
+
+    def __post_init__(self) -> None:
+        if self.vocabulary_size < 1:
+            raise ValueError("vocabulary_size must be >= 1")
+        if self.zipf_exponent <= 1.0:
+            raise ValueError("zipf_exponent must be > 1 for a proper Zipf law")
+        if self.mean_words_per_doc < 1:
+            raise ValueError("mean_words_per_doc must be >= 1")
+
+
+class TextGenerator:
+    """Generates documents with Zipf-distributed word frequencies."""
+
+    def __init__(self, config: TextConfig = TextConfig(), seed: int = 42):
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+        self.vocabulary = _make_vocabulary(config.vocabulary_size, self._rng)
+        ranks = np.arange(1, config.vocabulary_size + 1, dtype=float)
+        weights = np.power(ranks, -config.zipf_exponent)
+        self._probs = weights / weights.sum()
+
+    def words(self, n: int) -> List[str]:
+        """``n`` words drawn from the Zipf distribution."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        indices = self._rng.choice(
+            self.config.vocabulary_size, size=n, p=self._probs
+        )
+        return [self.vocabulary[i] for i in indices]
+
+    def document(self) -> str:
+        """One document of roughly ``mean_words_per_doc`` words."""
+        length = max(1, int(self._rng.poisson(self.config.mean_words_per_doc)))
+        return " ".join(self.words(length))
+
+    def documents(self, n: int) -> Iterator[str]:
+        """Lazily generate ``n`` documents."""
+        for _ in range(n):
+            yield self.document()
+
+
+class WikipediaCorpus(TextGenerator):
+    """Scaled stand-in for the 4,300,000-article Wikipedia seed.
+
+    The paper's Wikipedia-derived records are ~64 KB key-value text
+    entries; documents here are longer than the Amazon reviews and use a
+    larger vocabulary.
+    """
+
+    def __init__(self, seed: int = 42):
+        super().__init__(
+            TextConfig(vocabulary_size=8000, zipf_exponent=1.1, mean_words_per_doc=400),
+            seed=seed,
+        )
+
+
+class AmazonReviews(TextGenerator):
+    """Scaled stand-in for the 7,911,684-review Amazon Movie Reviews seed.
+
+    Yields ``(review_text, score)`` pairs; scores follow the well-known
+    J-shaped online-review distribution, which is what Naive Bayes
+    classification exercises.
+    """
+
+    SCORE_PROBS = (0.07, 0.05, 0.08, 0.20, 0.60)  # 1..5 stars
+
+    def __init__(self, seed: int = 43):
+        super().__init__(
+            TextConfig(vocabulary_size=4000, zipf_exponent=1.15, mean_words_per_doc=80),
+            seed=seed,
+        )
+
+    def reviews(self, n: int) -> Iterator[tuple]:
+        """Lazily generate ``n`` (text, score) review records."""
+        scores = self._rng.choice(
+            [1, 2, 3, 4, 5], size=n, p=self.SCORE_PROBS
+        )
+        for i in range(n):
+            score = int(scores[i])
+            # Make the text weakly predictive of the score so a real
+            # classifier has signal to learn, as in the genuine data.
+            text = self.document()
+            sentiment = "wonderful great" if score >= 4 else "terrible poor"
+            yield (f"{text} {sentiment}", score)

@@ -1,0 +1,136 @@
+"""TPC-DS-like web-sales star schema (Table 1, dataset 7).
+
+The paper uses the DSGen-produced 26-table TPC-DS web data for the
+Hive/Shark decision-support queries (Q3, Q8, Q10).  This module
+generates the minimal star-schema subset those queries touch — a
+``web_sales`` fact table with ``date_dim``, ``item``, ``customer`` and
+``customer_demographics`` dimensions — with realistic key skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class TpcDsTables:
+    """Generated dimension and fact rows, column-keyed."""
+
+    date_dim: List[dict] = field(default_factory=list)
+    item: List[dict] = field(default_factory=list)
+    customer: List[dict] = field(default_factory=list)
+    customer_demographics: List[dict] = field(default_factory=list)
+    web_sales: List[dict] = field(default_factory=list)
+
+    @property
+    def table_names(self) -> List[str]:
+        return [
+            "date_dim",
+            "item",
+            "customer",
+            "customer_demographics",
+            "web_sales",
+        ]
+
+
+class TpcDsWebTables:
+    """Deterministic TPC-DS-like generator.
+
+    ``scale`` multiplies the fact-table row count; dimensions scale
+    sub-linearly as in DSGen.
+    """
+
+    N_YEARS = 5
+    N_CATEGORIES = 10
+
+    def __init__(self, scale: float = 1.0, seed: int = 23):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, base_sales: int = 20_000) -> TpcDsTables:
+        """Build all tables; ``base_sales`` fact rows at scale 1."""
+        rng = self._rng
+        tables = TpcDsTables()
+
+        n_dates = 365 * self.N_YEARS
+        for d in range(n_dates):
+            tables.date_dim.append(
+                {
+                    "d_date_sk": d,
+                    "d_year": 2010 + d // 365,
+                    "d_moy": 1 + (d % 365) // 31,
+                    "d_dom": 1 + (d % 365) % 28,
+                }
+            )
+
+        n_items = max(100, int(1000 * np.sqrt(self.scale)))
+        brands = [f"brand-{b}" for b in range(50)]
+        for i in range(n_items):
+            tables.item.append(
+                {
+                    "i_item_sk": i,
+                    "i_brand": brands[int(rng.integers(0, len(brands)))],
+                    "i_brand_id": int(rng.integers(0, len(brands))),
+                    "i_category_id": int(rng.integers(0, self.N_CATEGORIES)),
+                    "i_manufact_id": int(rng.integers(0, 100)),
+                    "i_current_price": round(float(rng.gamma(2.0, 25.0)), 2),
+                }
+            )
+
+        n_customers = max(200, int(2000 * np.sqrt(self.scale)))
+        for c in range(n_customers):
+            tables.customer.append(
+                {
+                    "c_customer_sk": c,
+                    "c_current_cdemo_sk": c % max(1, n_customers // 4),
+                    "c_birth_year": 1950 + int(rng.integers(0, 50)),
+                }
+            )
+        for cd in range(max(1, n_customers // 4)):
+            tables.customer_demographics.append(
+                {
+                    "cd_demo_sk": cd,
+                    "cd_gender": "F" if rng.random() < 0.5 else "M",
+                    "cd_education_status": ["college", "primary", "secondary", "unknown"][
+                        int(rng.integers(0, 4))
+                    ],
+                    "cd_purchase_estimate": int(rng.integers(1, 10)) * 500,
+                }
+            )
+
+        n_sales = max(100, int(base_sales * self.scale))
+        # Item popularity is Zipf-skewed, as in real sales data.
+        ranks = np.arange(1, n_items + 1, dtype=float)
+        item_probs = np.power(ranks, -1.05)
+        item_probs /= item_probs.sum()
+        item_choice = rng.choice(n_items, size=n_sales, p=item_probs)
+        date_choice = rng.integers(0, n_dates, size=n_sales)
+        customer_choice = rng.integers(0, n_customers, size=n_sales)
+        quantities = rng.integers(1, 10, size=n_sales)
+        prices = rng.gamma(2.0, 25.0, size=n_sales)
+        for s in range(n_sales):
+            price = round(float(prices[s]), 2)
+            qty = int(quantities[s])
+            tables.web_sales.append(
+                {
+                    "ws_order_number": s,
+                    "ws_item_sk": int(item_choice[s]),
+                    "ws_sold_date_sk": int(date_choice[s]),
+                    "ws_bill_customer_sk": int(customer_choice[s]),
+                    "ws_quantity": qty,
+                    "ws_sales_price": price,
+                    "ws_ext_sales_price": round(price * qty, 2),
+                    "ws_net_paid": round(price * qty * 0.92, 2),
+                }
+            )
+        return tables
+
+    @staticmethod
+    def sizes(tables: TpcDsTables) -> Dict[str, int]:
+        """Row counts per table (for reporting and tests)."""
+        return {name: len(getattr(tables, name)) for name in tables.table_names}

@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(context) -> result`` where ``context`` is an
+:class:`repro.experiments.runner.ExperimentContext` (which caches
+workload characterizations so the figures share one measurement sweep),
+and each result renders the same rows/series the paper reports next to
+the paper's own numbers.
+"""
+
+from repro.experiments.runner import ExperimentContext
+
+__all__ = ["ExperimentContext"]

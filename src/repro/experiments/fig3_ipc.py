@@ -1,0 +1,82 @@
+"""Figure 3: IPC of every workload on the Xeon E5645.
+
+Paper reference points: big data average 1.28 vs SPECFP 1.1, SPECINT
+0.9, PARSEC 1.28, HPCC 1.5; subclass averages (service 0.8, data
+analysis 1.2, interactive 1.3; CPU 1.3, I/O 1.2, hybrid 1.3); notable
+individuals H-Read 0.8, S-Project 1.6, S-TPC-DS-query8 1.7 and the
+CloudSuite service average 0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.comparison import SUITES
+from repro.experiments.runner import (
+    BEHAVIOR_GROUPS,
+    CATEGORY_GROUPS,
+    ExperimentContext,
+)
+from repro.report.tables import render_table
+from repro.workloads import MPI_WORKLOADS, REPRESENTATIVE_WORKLOADS
+
+PAPER = {
+    "bigdata": 1.28,
+    "SPECINT": 0.9,
+    "SPECFP": 1.1,
+    "PARSEC": 1.28,
+    "HPCC": 1.5,
+    "service": 0.8,
+    "data analysis": 1.2,
+    "interactive analysis": 1.3,
+    "H-Read": 0.8,
+}
+
+
+@dataclass
+class IpcResult:
+    workload_rows: List[list] = field(default_factory=list)
+    suite_ipcs: Dict[str, float] = field(default_factory=dict)
+    group_rows: List[list] = field(default_factory=list)
+    bigdata_ipc: float = 0.0
+
+    def render(self) -> str:
+        parts = [
+            render_table(["workload", "IPC"], self.workload_rows,
+                         title="Figure 3 — IPC (Xeon E5645)"),
+            render_table(
+                ["suite", "IPC", "paper"],
+                [
+                    [name, ipc, PAPER.get(name, "-")]
+                    for name, ipc in self.suite_ipcs.items()
+                ],
+                title="\nsuite averages",
+            ),
+            render_table(["group", "IPC"], self.group_rows,
+                         title="\nsubclass averages"),
+            f"\nbig data average IPC {self.bigdata_ipc:.2f} (paper {PAPER['bigdata']})",
+        ]
+        return "\n".join(parts)
+
+
+def run(context: ExperimentContext) -> IpcResult:
+    """Regenerate Figure 3's data."""
+    result = IpcResult()
+    for definition in REPRESENTATIVE_WORKLOADS + MPI_WORKLOADS:
+        ipc = context.counters(definition.workload_id).ipc
+        result.workload_rows.append([definition.workload_id, ipc])
+    for suite_name in SUITES:
+        result.suite_ipcs[suite_name] = context.suite_average(suite_name, "ipc")
+    for category in CATEGORY_GROUPS:
+        result.group_rows.append(
+            [f"category: {category}",
+             context.group_average("ipc", "category", category)]
+        )
+    for behavior in BEHAVIOR_GROUPS:
+        result.group_rows.append(
+            [f"behavior: {behavior}",
+             context.group_average("ipc", "behavior", behavior)]
+        )
+    result.bigdata_ipc = context.bigdata_average("ipc")
+    return result

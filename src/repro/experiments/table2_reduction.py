@@ -1,0 +1,74 @@
+"""Table 2 / §3: the WCRT reduction of the 77 workloads to 17.
+
+Runs the full pipeline (characterize all 77 → normalise → PCA →
+K-means with K = 17 → pick centroid-nearest representatives) and
+compares the resulting cluster structure with Table 2: seventeen
+clusters whose sizes sum to 77, with the paper's representatives (or
+close stack/operation relatives) leading the large clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.subsetting import ReductionResult
+from repro.core.wcrt import Wcrt
+from repro.experiments.runner import ExperimentContext
+from repro.report.tables import render_table
+from repro.workloads import ALL_WORKLOADS, REPRESENTATIVE_WORKLOADS
+
+#: Table 2's representative -> represents counts.
+PAPER_CLUSTER_SIZES = {
+    definition.workload_id: definition.represents
+    for definition in REPRESENTATIVE_WORKLOADS
+}
+
+
+@dataclass
+class ReductionExperimentResult:
+    reduction: ReductionResult = None
+    rows: List[list] = field(default_factory=list)
+    representative_hits: int = 0
+
+    @property
+    def n_clusters(self) -> int:
+        return self.reduction.n_clusters
+
+    def render(self) -> str:
+        table = render_table(
+            ["representative", "represents", "members"],
+            self.rows,
+            title="Table 2 — WCRT reduction (77 workloads, K = 17)",
+        )
+        summary = (
+            f"\nclusters: {self.n_clusters} (paper: 17); "
+            f"cluster sizes sum to "
+            f"{sum(len(m) for m in self.reduction.clusters.values())} (paper: 77)\n"
+            f"{self.representative_hits}/17 clusters are led by a paper "
+            f"representative or contain one"
+        )
+        return table + summary
+
+
+def run(
+    context: ExperimentContext, k: int = 17, seed: int = 0
+) -> ReductionExperimentResult:
+    """Run the reduction on the full 77-workload catalog."""
+    wcrt = Wcrt(n_profilers=5, scale=context.scale)
+    reduction = wcrt.reduce(ALL_WORKLOADS, k=k, seed=seed)
+
+    result = ReductionExperimentResult(reduction=reduction)
+    paper_ids = set(PAPER_CLUSTER_SIZES)
+    for representative in reduction.representatives:
+        members = reduction.clusters[representative]
+        result.rows.append(
+            [
+                representative,
+                len(members),
+                ", ".join(m for m in members if m != representative)[:72],
+            ]
+        )
+        if representative in paper_ids or any(m in paper_ids for m in members):
+            result.representative_hits += 1
+    return result

@@ -1,0 +1,86 @@
+"""§5.2 implication: wimpy cores versus brawny cores.
+
+"Architecture communities are exploring different technology road maps
+for big data workloads: some focuses on scale-out wimpy core … others
+try to use brawny core … We speculate that the processor architecture
+should not have one-size-fits-all solution."
+
+This experiment characterizes every representative on both platform
+models and reports the Atom-relative slowdown per workload and per
+subclass.  The paper's speculation predicts a *wide spread*: workloads
+with modest ILP and small footprints lose little on a wimpy core, while
+front-end-bound service workloads and ILP-rich analytics lose a lot —
+so neither road map wins everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.experiments.runner import CATEGORY_GROUPS, ExperimentContext
+from repro.report.tables import render_table
+from repro.workloads import REPRESENTATIVE_WORKLOADS
+
+
+@dataclass
+class WimpyCoreResult:
+    workload_rows: List[list] = field(default_factory=list)
+    group_rows: List[list] = field(default_factory=list)
+    min_slowdown: float = 0.0
+    max_slowdown: float = 0.0
+
+    @property
+    def spread(self) -> float:
+        """max/min per-core slowdown across workloads."""
+        return self.max_slowdown / max(1e-9, self.min_slowdown)
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                ["workload", "Xeon IPC", "Atom IPC", "per-core slowdown"],
+                self.workload_rows,
+                title="§5.2 — wimpy-core (Atom D510) vs brawny-core (Xeon E5645)",
+            ),
+            render_table(
+                ["category", "mean slowdown"],
+                self.group_rows,
+                title="\nsubclass means",
+            ),
+            (
+                f"\nper-core slowdown spans {self.min_slowdown:.1f}x to "
+                f"{self.max_slowdown:.1f}x (spread {self.spread:.1f}x) — "
+                "no one-size-fits-all core, as §5.2 speculates"
+            ),
+        ]
+        return "\n".join(parts)
+
+
+def run(context: ExperimentContext) -> WimpyCoreResult:
+    """Characterize the representatives on both platforms."""
+    result = WimpyCoreResult()
+    slowdowns = {}
+    for definition in REPRESENTATIVE_WORKLOADS:
+        xeon = context.counters(definition.workload_id, context.xeon)
+        atom = context.counters(definition.workload_id, context.atom)
+        # Normalise for clock: per-cycle capability ratio, then scale by
+        # frequency for the per-core wall-clock slowdown.
+        slowdown = (
+            (xeon.ipc * context.xeon.frequency_ghz)
+            / max(1e-9, atom.ipc * context.atom.frequency_ghz)
+        )
+        slowdowns[definition.workload_id] = slowdown
+        result.workload_rows.append(
+            [definition.workload_id, xeon.ipc, atom.ipc, slowdown]
+        )
+    result.min_slowdown = min(slowdowns.values())
+    result.max_slowdown = max(slowdowns.values())
+
+    for category in CATEGORY_GROUPS:
+        members = [
+            slowdowns[d.workload_id]
+            for d in REPRESENTATIVE_WORKLOADS
+            if context.category_of(d.workload_id) == category
+        ]
+        result.group_rows.append([category, sum(members) / len(members)])
+    return result

@@ -1,0 +1,55 @@
+"""Software-stack engines.
+
+Functional models of the stacks the paper benchmarks — Hadoop MapReduce,
+Spark RDDs, MPI, the Hive/Shark/Impala SQL engines and the HBase KV
+store — each of which really executes workload kernels over generated
+data while accounting the micro-architectural consequences of its
+layering (dispatch depth, instruction footprint, indirect-branch
+pressure).  The paper's central §5.5 finding — an order of magnitude L1I
+difference between MPI and Hadoop/Spark implementations of the same
+algorithm — emerges from these per-stack traits.
+"""
+
+from repro.stacks.base import (
+    Meter,
+    StackTraits,
+    SoftwareStack,
+    WorkloadResult,
+    HADOOP_TRAITS,
+    SPARK_TRAITS,
+    MPI_TRAITS,
+    HIVE_TRAITS,
+    SHARK_TRAITS,
+    IMPALA_TRAITS,
+    HBASE_TRAITS,
+)
+from repro.stacks.hadoop import Hadoop, MapReduceJob
+from repro.stacks.spark import Spark, Rdd
+from repro.stacks.mpi import MpiRuntime, MpiCommunicator
+from repro.stacks.sql import HiveEngine, SharkEngine, ImpalaEngine, Query
+from repro.stacks.hbase import HBase
+
+__all__ = [
+    "Meter",
+    "StackTraits",
+    "SoftwareStack",
+    "WorkloadResult",
+    "HADOOP_TRAITS",
+    "SPARK_TRAITS",
+    "MPI_TRAITS",
+    "HIVE_TRAITS",
+    "SHARK_TRAITS",
+    "IMPALA_TRAITS",
+    "HBASE_TRAITS",
+    "Hadoop",
+    "MapReduceJob",
+    "Spark",
+    "Rdd",
+    "MpiRuntime",
+    "MpiCommunicator",
+    "HiveEngine",
+    "SharkEngine",
+    "ImpalaEngine",
+    "Query",
+    "HBase",
+]

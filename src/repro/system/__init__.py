@@ -1,0 +1,21 @@
+"""System-behaviour measurement and classification (§3.2.1, §3.2.2)."""
+
+from repro.system.classify import (
+    SystemCharacterization,
+    characterize_system,
+)
+from repro.workloads.base import (
+    DataBehavior,
+    DataRatio,
+    SystemBehavior,
+    classify_system_behavior,
+)
+
+__all__ = [
+    "SystemCharacterization",
+    "characterize_system",
+    "DataBehavior",
+    "DataRatio",
+    "SystemBehavior",
+    "classify_system_behavior",
+]

@@ -1,0 +1,202 @@
+"""Set-associative cache simulation.
+
+A straightforward trace-driven LRU model: the same machinery serves the
+perf-counter pipeline (L1I/L1D/L2/L3 MPKI of Figure 4) and the MARSSx86-
+style capacity sweeps of Figures 6-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.uarch.profile import LINE_BYTES
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: Level label ("L1I", "L2", ...).
+        size_bytes: Total capacity.
+        ways: Associativity.
+        line_bytes: Cache line size.
+    """
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = LINE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over cache-line addresses.
+
+    Addresses passed to :meth:`access` are *line numbers* (byte address
+    divided by the line size); the caller is responsible for that
+    conversion so that traces can be generated directly in line space.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        # Per-set list of tags; index 0 is LRU, the last element is MRU.
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0 when no accesses occurred)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def access(self, line: int) -> bool:
+        """Reference a line; returns True on hit.
+
+        Misses allocate the line (write-allocate, fetch-on-miss) and evict
+        the LRU way when the set is full.
+        """
+        index = line % self._num_sets
+        tag = line // self._num_sets
+        ways = self._sets[index]
+        if tag in ways:
+            # Move to MRU position.
+            ways.remove(tag)
+            ways.append(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self._ways:
+            ways.pop(0)
+        ways.append(tag)
+        return False
+
+    def run(self, lines: Iterable[int]) -> int:
+        """Access a whole trace; returns the number of misses it caused."""
+        before = self.misses
+        access = self.access
+        for line in lines:
+            access(line)
+        return self.misses - before
+
+    def reset_stats(self) -> None:
+        """Zero hit/miss counters without flushing cache contents."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        """Empty the cache and zero the counters."""
+        self._sets = [[] for _ in range(self._num_sets)]
+        self.reset_stats()
+
+
+@dataclass
+class LevelStats:
+    """Access/miss statistics for one level of a hierarchy."""
+
+    name: str
+    accesses: int
+    misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def mpki(self, instructions: float) -> float:
+        """Misses per kilo-instruction for a run of ``instructions``."""
+        if instructions <= 0:
+            raise ValueError("instructions must be positive")
+        return 1000.0 * self.misses / instructions
+
+
+class CacheHierarchy:
+    """L1I + L1D backed by a unified L2 and a shared L3.
+
+    Inclusive counting model: every L1 miss is an L2 access; every L2 miss
+    is an L3 access; L3 misses go off-core.  This matches how the paper's
+    MPKI metrics are computed from PMU events.
+    """
+
+    def __init__(
+        self,
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        l3: Optional[CacheConfig] = None,
+    ):
+        self.l1i = SetAssociativeCache(l1i)
+        self.l1d = SetAssociativeCache(l1d)
+        self.l2 = SetAssociativeCache(l2)
+        self.l3 = SetAssociativeCache(l3) if l3 is not None else None
+        self.offcore_accesses = 0
+        # Per-source refill accounting: where instruction-side and
+        # data-side L1 misses were ultimately served from.  Keys are
+        # ("l2" | "l3" | "mem"); the pipeline model weights each by its
+        # latency.
+        self.fetch_fills = {"l2": 0, "l3": 0, "mem": 0}
+        self.data_fills = {"l2": 0, "l3": 0, "mem": 0}
+
+    def fetch(self, line: int) -> None:
+        """Instruction fetch of one cache line."""
+        if not self.l1i.access(line):
+            self._fill_from_l2(line, self.fetch_fills)
+
+    def load_store(self, line: int) -> None:
+        """Data reference of one cache line."""
+        if not self.l1d.access(line):
+            self._fill_from_l2(line, self.data_fills)
+
+    def _fill_from_l2(self, line: int, fills: dict) -> None:
+        if self.l2.access(line):
+            fills["l2"] += 1
+            return
+        if self.l3 is None:
+            fills["mem"] += 1
+            self.offcore_accesses += 1
+            return
+        if self.l3.access(line):
+            fills["l3"] += 1
+        else:
+            fills["mem"] += 1
+            self.offcore_accesses += 1
+
+    def stats(self) -> List[LevelStats]:
+        """Per-level statistics, L1I first."""
+        levels = [
+            LevelStats("L1I", self.l1i.accesses, self.l1i.misses),
+            LevelStats("L1D", self.l1d.accesses, self.l1d.misses),
+            LevelStats("L2", self.l2.accesses, self.l2.misses),
+        ]
+        if self.l3 is not None:
+            levels.append(LevelStats("L3", self.l3.accesses, self.l3.misses))
+        return levels
+
+    def reset_stats(self) -> None:
+        """Zero every level's counters (cache contents are preserved)."""
+        for cache in (self.l1i, self.l1d, self.l2, self.l3):
+            if cache is not None:
+                cache.reset_stats()
+        self.offcore_accesses = 0
+        self.fetch_fills = {"l2": 0, "l3": 0, "mem": 0}
+        self.data_fills = {"l2": 0, "l3": 0, "mem": 0}

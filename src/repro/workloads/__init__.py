@@ -1,0 +1,31 @@
+"""The BigDataBench workload implementations.
+
+Genuinely-executing versions of the paper's representative workloads
+(Table 2) on every software stack they appear with, plus the six MPI
+re-implementations of §4.1 and the full 77-workload registry used for
+the WCRT reduction.
+"""
+
+from repro.workloads.base import (
+    ApplicationCategory,
+    DataBehavior,
+    SystemBehavior,
+    WorkloadDefinition,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    MPI_WORKLOADS,
+    REPRESENTATIVE_WORKLOADS,
+    workload,
+)
+
+__all__ = [
+    "ApplicationCategory",
+    "DataBehavior",
+    "SystemBehavior",
+    "WorkloadDefinition",
+    "ALL_WORKLOADS",
+    "MPI_WORKLOADS",
+    "REPRESENTATIVE_WORKLOADS",
+    "workload",
+]

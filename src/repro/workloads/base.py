@@ -1,0 +1,138 @@
+"""Workload taxonomy: the classification dimensions of §3.2.
+
+Workloads are described along three axes:
+
+- **application category** (§3.2.3): data analysis, service, or
+  interactive analysis;
+- **data behaviour** (§3.2.2): how output and intermediate volumes
+  compare to the input, bucketed by the paper's ratio rules;
+- **system behaviour** (§3.2.1): CPU-intensive, I/O-intensive or hybrid,
+  decided from measured CPU utilisation, I/O-wait and weighted disk I/O
+  time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+class ApplicationCategory(enum.Enum):
+    """§3.2.3 application categories."""
+
+    DATA_ANALYSIS = "data analysis"
+    SERVICE = "service"
+    INTERACTIVE_ANALYSIS = "interactive analysis"
+
+
+class DataRatio(enum.Enum):
+    """§3.2.2 volume-ratio buckets relative to the input."""
+
+    MUCH_LESS = "<<"       # ratio < 0.01
+    LESS = "<"             # 0.01 <= ratio < 0.9
+    EQUAL = "="            # 0.9 <= ratio < 1.1
+    GREATER = ">"          # ratio >= 1.1
+    NONE = "none"          # no data of this kind
+
+    @classmethod
+    def from_ratio(cls, ratio: float) -> "DataRatio":
+        """Bucket a volume ratio per the paper's thresholds."""
+        if ratio < 0:
+            raise ValueError("ratio must be non-negative")
+        if ratio < 0.01:
+            return cls.MUCH_LESS
+        if ratio < 0.9:
+            return cls.LESS
+        if ratio < 1.1:
+            return cls.EQUAL
+        return cls.GREATER
+
+
+@dataclass(frozen=True)
+class DataBehavior:
+    """Output-vs-input and intermediate-vs-input buckets."""
+
+    output: DataRatio
+    intermediate: DataRatio
+
+    def describe(self) -> str:
+        """Render like the paper's Table 2 column."""
+        output = f"Output{self.output.value}Input"
+        if self.intermediate is DataRatio.NONE:
+            return f"{output} and no intermediate"
+        return f"{output} and Intermediate{self.intermediate.value}Input"
+
+    @classmethod
+    def from_meter(cls, meter) -> "DataBehavior":
+        """Derive the buckets from measured data-flow volumes."""
+        if meter.bytes_in <= 0:
+            raise ValueError("meter recorded no input bytes")
+        output = DataRatio.from_ratio(meter.bytes_out / meter.bytes_in)
+        if meter.bytes_shuffled == 0:
+            intermediate = DataRatio.NONE
+        else:
+            intermediate = DataRatio.from_ratio(
+                meter.bytes_shuffled / meter.bytes_in
+            )
+        return cls(output=output, intermediate=intermediate)
+
+
+class SystemBehavior(enum.Enum):
+    """§3.2.1 system-behaviour classes."""
+
+    CPU_INTENSIVE = "CPU-Intensive"
+    IO_INTENSIVE = "IO-Intensive"
+    HYBRID = "Hybrid"
+
+
+def classify_system_behavior(
+    cpu_utilization: float,
+    io_wait_ratio: float,
+    weighted_io_time_ratio: float,
+) -> SystemBehavior:
+    """The paper's §3.2.1 rules, verbatim:
+
+    1. CPU utilisation > 85% → CPU-intensive.
+    2. Weighted disk I/O time ratio > 10, or I/O wait > 20% with CPU
+       utilisation < 60% → I/O-intensive.
+    3. Otherwise → hybrid.
+    """
+    if not 0.0 <= cpu_utilization <= 1.0:
+        raise ValueError("cpu_utilization must be in [0, 1]")
+    if cpu_utilization > 0.85:
+        return SystemBehavior.CPU_INTENSIVE
+    if weighted_io_time_ratio > 10 or (
+        io_wait_ratio > 0.20 and cpu_utilization < 0.60
+    ):
+        return SystemBehavior.IO_INTENSIVE
+    return SystemBehavior.HYBRID
+
+
+@dataclass(frozen=True)
+class WorkloadDefinition:
+    """One catalog entry: identity, taxonomy, and a runner.
+
+    Attributes:
+        workload_id: The paper's abbreviation (e.g. ``"S-WordCount"``).
+        description: What the workload computes.
+        stack: Hosting software stack name.
+        dataset: Catalog key of the input dataset (Table 1).
+        category: §3.2.3 application category.
+        expected_system_behavior: Table 2's system-behaviour column (the
+            measured classification is validated against it in tests).
+        runner: ``runner(scale, cluster=None, seed=0) -> WorkloadResult``.
+        representative: Whether this is one of the 17 of Table 2.
+        represents: Cluster size from Table 2 (how many of the 77 this
+            workload stands for), when representative.
+    """
+
+    workload_id: str
+    description: str
+    stack: str
+    dataset: str
+    category: ApplicationCategory
+    expected_system_behavior: SystemBehavior
+    runner: Callable
+    representative: bool = False
+    represents: Optional[int] = None

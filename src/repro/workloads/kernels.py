@@ -1,0 +1,392 @@
+"""The basic-operation workloads: WordCount, Grep, Sort.
+
+Each algorithm has Hadoop, Spark and MPI implementations (the latter
+are the §4.1/§5.5 software-stack study versions).  All versions compute
+the same functional result over the same generated data; only the stack
+differs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.datagen.text import WikipediaCorpus
+from repro.stacks.base import KernelTraits, Meter, WorkloadResult
+from repro.stacks.hadoop import Hadoop, MapReduceJob
+from repro.stacks.mpi import MpiRuntime
+from repro.stacks.spark import Spark
+
+#: Baseline input size: documents at ``scale`` = 1.  The paper uses
+#: 128 GB inputs; we keep distributional fidelity at laptop scale.
+BASE_DOCS = 240
+
+WORDCOUNT_KERNEL = KernelTraits(
+    code_kb=12.0,
+    ilp=2.3,
+    loop_fraction=0.35,
+    pattern_fraction=0.10,
+    data_dependent_fraction=0.55,
+    taken_prob=0.05,
+    loop_trip=40,
+    state_zipf=0.9,  # word frequencies are Zipfian, so are table hits
+)
+
+GREP_KERNEL = KernelTraits(
+    code_kb=10.0,
+    ilp=2.5,
+    loop_fraction=0.40,
+    pattern_fraction=0.12,
+    data_dependent_fraction=0.48,
+    taken_prob=0.02,
+    loop_trip=48,
+    state_zipf=0.5,
+)
+
+SORT_KERNEL = KernelTraits(
+    code_kb=12.0,
+    ilp=1.9,
+    loop_fraction=0.38,
+    pattern_fraction=0.12,
+    data_dependent_fraction=0.50,
+    taken_prob=0.10,
+    loop_trip=24,
+    state_zipf=0.45,
+)
+
+
+def wiki_documents(scale: float, seed: int = 0) -> List[str]:
+    """Generated Wikipedia-like documents for a run at ``scale``."""
+    n_docs = max(10, int(BASE_DOCS * scale))
+    corpus = WikipediaCorpus(seed=42 + seed)
+    return list(corpus.documents(n_docs))
+
+
+def _meter_words(doc: str, meter: Meter, words: int) -> None:
+    """Kernel cost of tokenising and hashing one document."""
+    meter.ops(
+        str_byte=len(doc),
+        compare=words,
+        hash=words,
+        array_access=words,
+        int_op=words,
+    )
+
+
+def _wordcount_state_bytes(meter: Meter, bytes_per_entry: int = 96) -> int:
+    """Hash-map size: distinct words scale with input (Heaps-ish).
+
+    JVM stacks pay ~96 bytes per boxed entry; a native open-addressing
+    table (the MPI version) packs entries in ~32 bytes.
+    """
+    return int(bytes_per_entry * max(256, meter.records_in * 180))
+
+
+# --------------------------------------------------------------------------
+# WordCount
+# --------------------------------------------------------------------------
+
+def hadoop_wordcount(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-WordCount: the Hadoop WordCount of Table 2 (row 15)."""
+
+    def mapper(record, emit, meter):
+        words = record.split()
+        _meter_words(record, meter, len(words))
+        for word in words:
+            emit(word, 1)
+
+    def reducer(key, values, emit, meter):
+        meter.ops(int_op=len(values), array_access=len(values))
+        emit(key, sum(values))
+
+    job = MapReduceJob(
+        name="H-WordCount",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer,
+        kernel=WORDCOUNT_KERNEL,
+        state_bytes=_wordcount_state_bytes,
+        state_fraction=0.030,
+        stream_fraction=0.010,
+    )
+    return Hadoop().run(job, wiki_documents(scale, seed), cluster=cluster)
+
+
+def spark_wordcount(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-WordCount: Table 2 row 5."""
+    spark = Spark()
+    docs = spark.parallelize(wiki_documents(scale, seed))
+
+    def split_doc(doc):
+        return [(word, 1) for word in doc.split()]
+
+    def meter_doc(doc, meter):
+        _meter_words(doc, meter, doc.count(" ") + 1)
+
+    counts = docs.flat_map(split_doc, meter_doc).reduce_by_key(
+        lambda a, b: a + b
+    )
+    output = counts.collect()
+    return spark.finish(
+        name="S-WordCount",
+        output=output,
+        kernel=WORDCOUNT_KERNEL,
+        state_bytes=_wordcount_state_bytes(spark._meter),
+        state_fraction=0.035,
+        stream_fraction=0.020,
+        cluster=cluster,
+    )
+
+
+def mpi_wordcount(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """M-WordCount: the thin-stack version of §4.1."""
+
+    def program(rank, comm, data, meter):
+        local: Counter = Counter()
+        for doc in data:
+            words = doc.split()
+            _meter_words(doc, meter, len(words))
+            local.update(words)
+
+        def merge(a, b):
+            merged = Counter(a)
+            merged.update(b)
+            return merged
+
+        total = yield comm.allreduce(dict(local), lambda a, b: merge(a, b))
+        meter.ops(hash=len(total), int_op=len(total))
+        return len(total)
+
+    runtime = MpiRuntime(n_ranks=6)
+    docs = wiki_documents(scale, seed)
+    per_rank = math.ceil(len(docs) / runtime.n_ranks)
+    partitions = [
+        docs[r * per_rank:(r + 1) * per_rank] for r in range(runtime.n_ranks)
+    ]
+    meter_probe = Meter()
+    meter_probe.record_in(sum(len(d) for d in docs), records=len(docs))
+    return runtime.run(
+        name="M-WordCount",
+        program=program,
+        partitions=partitions,
+        kernel=WORDCOUNT_KERNEL,
+        state_bytes=_wordcount_state_bytes(meter_probe, bytes_per_entry=32),
+        state_fraction=0.022,
+        stream_fraction=0.003,
+        cluster=cluster,
+    )
+
+
+# --------------------------------------------------------------------------
+# Grep
+# --------------------------------------------------------------------------
+
+#: A mid-frequency vocabulary token: matches a small fraction of lines,
+#: giving the Output<<Input behaviour of Table 2.
+GREP_PATTERN = "zo"
+
+
+def _grep_match(doc: str, pattern: str) -> bool:
+    return pattern in doc
+
+
+def _meter_grep(doc: str, meter: Meter) -> None:
+    meter.ops(str_byte=len(doc), compare=doc.count(" ") + 1)
+
+
+def hadoop_grep(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-Grep: Table 2 row 7 (searching plain text for matching lines)."""
+
+    def mapper(record, emit, meter):
+        _meter_grep(record, meter)
+        if _grep_match(record, GREP_PATTERN):
+            emit(record[:80], 1)
+
+    job = MapReduceJob(
+        name="H-Grep",
+        mapper=mapper,
+        reducer=None,
+        kernel=GREP_KERNEL,
+        state_bytes=256 * 1024,
+        state_fraction=0.015,
+        stream_fraction=0.012,
+    )
+    return Hadoop().run(job, wiki_documents(scale, seed), cluster=cluster)
+
+
+def spark_grep(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-Grep: Table 2 row 14."""
+    spark = Spark()
+    docs = spark.parallelize(wiki_documents(scale, seed))
+    matches = docs.filter(
+        lambda doc: _grep_match(doc, GREP_PATTERN),
+        lambda doc, meter: _meter_grep(doc, meter),
+    )
+    output = matches.collect()
+    return spark.finish(
+        name="S-Grep",
+        output=[doc[:80] for doc in output],
+        kernel=GREP_KERNEL,
+        state_bytes=256 * 1024,
+        state_fraction=0.018,
+        cluster=cluster,
+    )
+
+
+def mpi_grep(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """M-Grep."""
+
+    def program(rank, comm, data, meter):
+        matches = []
+        for doc in data:
+            _meter_grep(doc, meter)
+            if _grep_match(doc, GREP_PATTERN):
+                matches.append(doc[:80])
+        counts = yield comm.gather(len(matches))
+        meter.ops(int_op=len(counts))
+        return matches
+
+    runtime = MpiRuntime(n_ranks=6)
+    docs = wiki_documents(scale, seed)
+    per_rank = math.ceil(len(docs) / runtime.n_ranks)
+    partitions = [
+        docs[r * per_rank:(r + 1) * per_rank] for r in range(runtime.n_ranks)
+    ]
+    return runtime.run(
+        name="M-Grep",
+        program=program,
+        partitions=partitions,
+        kernel=GREP_KERNEL,
+        state_bytes=128 * 1024,
+        state_fraction=0.015,
+        cluster=cluster,
+    )
+
+
+# --------------------------------------------------------------------------
+# Sort
+# --------------------------------------------------------------------------
+
+def _sort_records(scale: float, seed: int) -> List[str]:
+    """Fixed-length keyed records to sort (one line per record)."""
+    corpus = WikipediaCorpus(seed=77 + seed)
+    n = max(200, int(4000 * scale))
+    words = corpus.words(n)
+    return [f"{word}-{i:08d}" for i, word in enumerate(words)]
+
+
+def hadoop_sort(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """Hadoop Sort (one of the six MPI-comparison algorithms)."""
+
+    def mapper(record, emit, meter):
+        meter.ops(str_byte=len(record), array_access=1)
+        emit(record, 1)
+
+    def reducer(key, values, emit, meter):
+        meter.ops(array_access=len(values))
+        for _ in values:
+            emit(key, 1)
+
+    records = _sort_records(scale, seed)
+    total_bytes = sum(len(r) for r in records)
+    job = MapReduceJob(
+        name="H-Sort",
+        mapper=mapper,
+        reducer=reducer,
+        kernel=SORT_KERNEL,
+        state_bytes=max(4 * 1024 * 1024, total_bytes),
+        state_fraction=0.012,
+        stream_fraction=0.030,
+    )
+    return Hadoop().run(job, records, cluster=cluster)
+
+
+def spark_sort(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-Sort: Table 2 row 17."""
+    spark = Spark()
+    records = _sort_records(scale, seed)
+    rdd = spark.parallelize(records)
+    output = rdd.sort_by(lambda r: r).collect()
+    total_bytes = sum(len(r) for r in records)
+    return spark.finish(
+        name="S-Sort",
+        output=output,
+        kernel=SORT_KERNEL,
+        state_bytes=max(8 * 1024 * 1024, total_bytes),
+        state_fraction=0.014,
+        output_bytes=total_bytes,
+        cluster=cluster,
+    )
+
+
+def mpi_sort(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """M-Sort: a classic sample sort over the BSP collectives."""
+
+    def program(rank, comm, data, meter):
+        n = len(data)
+        if n > 1:
+            cost = n * math.log2(n)
+            meter.ops(compare=cost, array_access=cost)
+        local = sorted(data)
+        # Regular sampling → gather → broadcast splitters.
+        stride = max(1, n // comm.size)
+        samples = local[::stride][: comm.size]
+        all_samples = yield comm.gather(samples)
+        flat = sorted(s for group in all_samples for s in group)
+        meter.ops(compare=len(flat), array_access=len(flat))
+        splitters = flat[comm.size - 1::comm.size][: comm.size - 1]
+        buckets: List[List[str]] = [[] for _ in range(comm.size)]
+        for record in local:
+            destination = 0
+            for splitter in splitters:
+                meter.ops(compare=1)
+                if record > splitter:
+                    destination += 1
+                else:
+                    break
+            buckets[destination].append(record)
+        received = yield comm.alltoall(buckets)
+        merged = sorted(r for bucket in received for r in bucket)
+        m = len(merged)
+        if m > 1:
+            cost = m * math.log2(m)
+            meter.ops(compare=cost, array_access=cost)
+        return merged
+
+    runtime = MpiRuntime(n_ranks=6)
+    records = _sort_records(scale, seed)
+    per_rank = math.ceil(len(records) / runtime.n_ranks)
+    partitions = [
+        records[r * per_rank:(r + 1) * per_rank]
+        for r in range(runtime.n_ranks)
+    ]
+    total_bytes = sum(len(r) for r in records)
+    return runtime.run(
+        name="M-Sort",
+        program=program,
+        partitions=partitions,
+        kernel=SORT_KERNEL,
+        state_bytes=max(2 * 1024 * 1024, total_bytes),
+        state_fraction=0.010,
+        cluster=cluster,
+    )

@@ -1,0 +1,518 @@
+"""The machine-learning / graph workloads: K-means, PageRank, Naive Bayes.
+
+These are the floating-point-leaning big data workloads of §5.1 ("the
+floating-point dominated workloads such as Bayes, Kmeans and PageRank
+need to process massive amount of operations before they perform the
+floating-point operations") — their profiles still end up integer- and
+data-movement-dominated, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.datagen.graph import FacebookSocialGraph, GoogleWebGraph
+from repro.datagen.text import AmazonReviews
+from repro.stacks.base import KernelTraits, Meter, WorkloadResult
+from repro.stacks.hadoop import Hadoop, MapReduceJob
+from repro.stacks.mpi import MpiRuntime
+from repro.stacks.spark import Spark
+
+KMEANS_KERNEL = KernelTraits(
+    code_kb=14.0,
+    ilp=2.8,
+    loop_fraction=0.55,
+    pattern_fraction=0.10,
+    data_dependent_fraction=0.35,
+    taken_prob=0.06,  # "dis < minDis" is rarely true (Algorithm 1)
+    loop_trip=16,
+    state_zipf=0.4,
+)
+
+PAGERANK_KERNEL = KernelTraits(
+    code_kb=12.0,
+    ilp=2.0,
+    loop_fraction=0.45,
+    pattern_fraction=0.08,
+    data_dependent_fraction=0.47,
+    taken_prob=0.06,
+    loop_trip=8,  # mean out-degree of the web graph
+    state_zipf=0.55,  # rank vector accesses are weakly skewed by degree
+)
+
+BAYES_KERNEL = KernelTraits(
+    code_kb=14.0,
+    ilp=2.4,
+    loop_fraction=0.40,
+    pattern_fraction=0.10,
+    data_dependent_fraction=0.50,
+    taken_prob=0.05,
+    loop_trip=32,
+    state_zipf=0.85,  # Zipfian word-count table
+)
+
+
+# --------------------------------------------------------------------------
+# K-means (Facebook social-network features, Table 2 row 11)
+# --------------------------------------------------------------------------
+
+def _kmeans_data(scale: float, seed: int) -> np.ndarray:
+    graph = FacebookSocialGraph(scale=min(1.0, 0.5 * scale + 0.05), seed=13 + seed)
+    return graph.feature_vectors(dimensions=8)
+
+def _assign_points(
+    points: np.ndarray, centers: np.ndarray, meter: Meter
+) -> np.ndarray:
+    """One assignment pass (Algorithm 1 of the paper), vectorised but
+    metered at per-point, per-center granularity."""
+    n, dims = points.shape
+    k = centers.shape[0]
+    # Per point: k distance computations of `dims` FP ops, k compares.
+    meter.ops(
+        fp_op=float(n * k * dims * 2),
+        compare=float(n * k),
+        array_access=float(n * k * dims),
+        int_op=float(n * k),
+    )
+    distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return distances.argmin(axis=1)
+
+
+def _update_centers(
+    points: np.ndarray, assignment: np.ndarray, k: int, meter: Meter
+) -> np.ndarray:
+    dims = points.shape[1]
+    meter.ops(fp_op=float(points.shape[0] * dims), array_access=float(points.shape[0]))
+    centers = np.zeros((k, dims))
+    for cluster_id in range(k):
+        members = points[assignment == cluster_id]
+        if len(members):
+            centers[cluster_id] = members.mean(axis=0)
+    return centers
+
+
+def spark_kmeans(
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    k: int = 8,
+    iterations: int = 8,
+) -> WorkloadResult:
+    """S-Kmeans: Table 2 row 11 (CPU-intensive data analysis)."""
+    points = _kmeans_data(scale, seed)
+    spark = Spark()
+    rows = [tuple(row) for row in points.tolist()]
+    rdd = spark.parallelize(rows).cache()
+    rng = np.random.default_rng(seed + 5)
+    centers = points[rng.choice(len(points), size=k, replace=False)]
+    assignment = None
+    for _ in range(iterations):
+        assignment = _assign_points(points, centers, spark._meter)
+        centers = _update_centers(points, assignment, k, spark._meter)
+    # One cached-RDD pass accounts the per-element framework costs; the
+    # iterations themselves work on the in-memory partitions.
+    rdd.map(lambda p: p).count()
+    output = [int(a) for a in assignment]
+    return spark.finish(
+        name="S-Kmeans",
+        output=output,
+        kernel=KMEANS_KERNEL,
+        state_bytes=max(1024 * 1024, points.nbytes),
+        state_fraction=0.04,
+        stream_fraction=0.003,  # points cached in memory after pass 1
+        output_bytes=points.nbytes,
+        cluster=cluster,
+    )
+
+
+def mpi_kmeans(
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    k: int = 8,
+    iterations: int = 5,
+) -> WorkloadResult:
+    """M-Kmeans: the MPI version (§4.1)."""
+    points = _kmeans_data(scale, seed)
+    n_ranks = 6
+    shards = np.array_split(points, n_ranks)
+
+    def program(rank, comm, data, meter):
+        local = shards[rank]
+        rng = np.random.default_rng(seed + 5)
+        centers = points[rng.choice(len(points), size=k, replace=False)]
+        assignment = np.zeros(len(local), dtype=int)
+        for _ in range(iterations):
+            assignment = _assign_points(local, centers, meter)
+            sums = np.zeros((k, local.shape[1]))
+            counts = np.zeros(k)
+            for cluster_id in range(k):
+                members = local[assignment == cluster_id]
+                counts[cluster_id] = len(members)
+                if len(members):
+                    sums[cluster_id] = members.sum(axis=0)
+            meter.ops(fp_op=float(local.size))
+            combined = yield comm.allreduce(
+                (sums.tolist(), counts.tolist()),
+                lambda a, b: (
+                    (np.array(a[0]) + np.array(b[0])).tolist(),
+                    (np.array(a[1]) + np.array(b[1])).tolist(),
+                ),
+            )
+            total_sums = np.array(combined[0])
+            total_counts = np.maximum(1, np.array(combined[1]))
+            centers = total_sums / total_counts[:, None]
+        return [int(a) for a in assignment]
+
+    runtime = MpiRuntime(n_ranks=n_ranks)
+    partitions = [[tuple(p) for p in shard.tolist()] for shard in shards]
+    return runtime.run(
+        name="M-Kmeans",
+        program=program,
+        partitions=partitions,
+        kernel=KMEANS_KERNEL,
+        state_bytes=max(512 * 1024, points.nbytes),
+        state_fraction=0.05,
+        stream_fraction=0.002,
+        cluster=cluster,
+    )
+
+
+def hadoop_kmeans(
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    k: int = 8,
+) -> WorkloadResult:
+    """Hadoop K-means (one iteration per job, as Mahout does)."""
+    points = _kmeans_data(scale, seed)
+    rng = np.random.default_rng(seed + 5)
+    centers = points[rng.choice(len(points), size=k, replace=False)]
+
+    def mapper(record, emit, meter):
+        point = np.array(record)
+        dims = point.shape[0]
+        meter.ops(
+            fp_op=float(k * dims * 2),
+            compare=float(k),
+            array_access=float(k * dims),
+            int_op=float(k),
+        )
+        distances = ((centers - point) ** 2).sum(axis=1)
+        emit(int(distances.argmin()), record)
+
+    def reducer(key, values, emit, meter):
+        arr = np.array(values)
+        meter.ops(fp_op=float(arr.size), array_access=float(len(values)))
+        emit(key, tuple(arr.mean(axis=0).tolist()))
+
+    job = MapReduceJob(
+        name="H-Kmeans",
+        mapper=mapper,
+        reducer=reducer,
+        kernel=KMEANS_KERNEL,
+        state_bytes=max(1024 * 1024, points.nbytes),
+        state_fraction=0.05,
+        stream_fraction=0.006,
+        n_maps=10,
+        n_reduces=4,
+    )
+    rows = [tuple(row) for row in points.tolist()]
+    return Hadoop().run(job, rows, cluster=cluster)
+
+
+# --------------------------------------------------------------------------
+# PageRank (Google web graph, Table 2 row 13)
+# --------------------------------------------------------------------------
+
+def _pagerank_graph(scale: float, seed: int) -> Dict[int, List[int]]:
+    graph = GoogleWebGraph(scale=0.004 * scale, seed=11 + seed)
+    return graph.adjacency()
+
+
+def _pagerank_iteration(
+    adjacency: Dict[int, List[int]],
+    ranks: Dict[int, float],
+    meter: Meter,
+    damping: float = 0.85,
+) -> Dict[int, float]:
+    """One power-method step with per-edge metering."""
+    n = len(adjacency)
+    contributions: Dict[int, float] = defaultdict(float)
+    edge_count = 0
+    for node, targets in adjacency.items():
+        if not targets:
+            continue
+        share = ranks[node] / len(targets)
+        edge_count += len(targets)
+        for target in targets:
+            contributions[target] += share
+    meter.ops(
+        fp_op=float(edge_count + n),
+        array_access=float(2 * edge_count),
+        hash=float(edge_count),
+        compare=float(n),
+    )
+    base = (1.0 - damping) / n
+    return {
+        node: base + damping * contributions.get(node, 0.0)
+        for node in adjacency
+    }
+
+
+def spark_pagerank(
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    iterations: int = 5,
+) -> WorkloadResult:
+    """S-PageRank: Table 2 row 13 (Output>Input, CPU-intensive)."""
+    adjacency = _pagerank_graph(scale, seed)
+    spark = Spark()
+    edges = [(u, vs) for u, vs in adjacency.items()]
+    rdd = spark.parallelize(edges).cache()
+    n = len(adjacency)
+    ranks = {node: 1.0 / n for node in adjacency}
+    for _ in range(iterations):
+        ranks = _pagerank_iteration(adjacency, ranks, spark._meter)
+    # The links RDD is cached and hash-partitioned once; only the small
+    # rank vector moves between iterations.
+    spark._meter.record_shuffle(8 * n, records=n)
+    output = sorted(ranks.items(), key=lambda kv: -kv[1])[:20]
+    state_bytes = 16 * n + 12 * sum(len(v) for v in adjacency.values())
+    return spark.finish(
+        name="S-PageRank",
+        output=output,
+        kernel=PAGERANK_KERNEL,
+        state_bytes=max(1024 * 1024, state_bytes),
+        state_fraction=0.045,  # rank-vector random access dominates
+        stream_fraction=0.004,
+        # Output > Input (Table 2): every iteration materialises a
+        # fresh rank vector with node metadata.
+        output_bytes=20 * n * iterations,
+        cluster=cluster,
+    )
+
+
+def mpi_pagerank(
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    iterations: int = 5,
+) -> WorkloadResult:
+    """M-PageRank."""
+    adjacency = _pagerank_graph(scale, seed)
+    nodes = sorted(adjacency)
+    n_ranks = 6
+    shards = [nodes[r::n_ranks] for r in range(n_ranks)]
+    n = len(nodes)
+
+    def program(rank, comm, data, meter):
+        my_nodes = shards[rank]
+        ranks_vec = {node: 1.0 / n for node in nodes}
+        for _ in range(iterations):
+            local_contrib: Dict[int, float] = defaultdict(float)
+            edge_count = 0
+            for node in my_nodes:
+                targets = adjacency[node]
+                if not targets:
+                    continue
+                share = ranks_vec[node] / len(targets)
+                edge_count += len(targets)
+                for target in targets:
+                    local_contrib[target] += share
+            meter.ops(
+                fp_op=float(edge_count),
+                array_access=float(2 * edge_count),
+                hash=float(edge_count),
+            )
+            merged = yield comm.allreduce(
+                dict(local_contrib),
+                lambda a, b: {
+                    key: a.get(key, 0.0) + b.get(key, 0.0)
+                    for key in set(a) | set(b)
+                },
+            )
+            meter.ops(fp_op=float(n))
+            ranks_vec = {
+                node: (1.0 - 0.85) / n + 0.85 * merged.get(node, 0.0)
+                for node in nodes
+            }
+        return sorted(ranks_vec.items(), key=lambda kv: -kv[1])[:5]
+
+    runtime = MpiRuntime(n_ranks=n_ranks)
+    partitions = [[(node, adjacency[node]) for node in shard] for shard in shards]
+    state_bytes = 16 * n + 12 * sum(len(v) for v in adjacency.values())
+    return runtime.run(
+        name="M-PageRank",
+        program=program,
+        partitions=partitions,
+        kernel=PAGERANK_KERNEL,
+        state_bytes=max(1024 * 1024, state_bytes),
+        state_fraction=0.05,
+        stream_fraction=0.003,
+        cluster=cluster,
+    )
+
+
+# --------------------------------------------------------------------------
+# Naive Bayes (Amazon movie reviews, Table 2 row 16)
+# --------------------------------------------------------------------------
+
+def _bayes_data(scale: float, seed: int) -> List[Tuple[str, int]]:
+    reviews = AmazonReviews(seed=43 + seed)
+    n = max(60, int(200 * scale))
+    return list(reviews.reviews(n))
+
+
+def _bayes_train(
+    records: List[Tuple[str, int]], meter: Meter
+) -> Tuple[Dict[int, Counter], Counter]:
+    """Count word occurrences per class (the training pass)."""
+    word_counts: Dict[int, Counter] = defaultdict(Counter)
+    class_counts: Counter = Counter()
+    for text, label in records:
+        words = text.split()
+        meter.ops(
+            str_byte=len(text),
+            hash=len(words),
+            int_op=len(words),
+            array_access=len(words),
+        )
+        class_counts[label] += 1
+        word_counts[label].update(words)
+    return word_counts, class_counts
+
+
+def _bayes_classify(
+    text: str,
+    word_counts: Dict[int, Counter],
+    class_counts: Counter,
+    meter: Meter,
+) -> int:
+    words = text.split()
+    total = sum(class_counts.values())
+    best_label, best_score = None, -math.inf
+    vocabulary = max(1, sum(len(c) for c in word_counts.values()))
+    for label, prior in class_counts.items():
+        score = math.log(prior / total)
+        denominator = sum(word_counts[label].values()) + vocabulary
+        for word in words:
+            count = word_counts[label].get(word, 0)
+            score += math.log((count + 1) / denominator)
+        meter.ops(fp_op=float(len(words) * 2), hash=float(len(words)), compare=1)
+        if score > best_score:
+            best_label, best_score = label, score
+    return best_label
+
+
+def hadoop_bayes(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-NaiveBayes: Table 2 row 16."""
+    records = _bayes_data(scale, seed)
+    split = int(0.8 * len(records))
+    train, test = records[:split], records[split:]
+
+    def mapper(record, emit, meter):
+        text, label = record
+        words = text.split()
+        meter.ops(
+            str_byte=len(text), hash=len(words), int_op=len(words),
+            array_access=len(words),
+        )
+        for word in words:
+            emit((label, word), 1)
+
+    def reducer(key, values, emit, meter):
+        meter.ops(int_op=len(values))
+        emit(key, sum(values))
+
+    job = MapReduceJob(
+        name="H-NaiveBayes",
+        mapper=mapper,
+        reducer=reducer,
+        combiner=reducer,
+        kernel=BAYES_KERNEL,
+        state_bytes=lambda meter: int(
+            120 * max(512, meter.records_shuffled / 3)
+        ),
+        state_fraction=0.035,
+        stream_fraction=0.008,
+    )
+    hadoop = Hadoop()
+    result = hadoop.run(job, train, cluster=cluster)
+
+    # Score the held-out set with the learned model (kept functional so
+    # tests can assert real accuracy).
+    model_counts: Dict[int, Counter] = defaultdict(Counter)
+    class_counts: Counter = Counter()
+    for (label, word), count in result.output:
+        model_counts[label][word] += count
+    for _text, label in train:
+        class_counts[label] += 1
+    correct = 0
+    probe = Meter()
+    for text, label in test:
+        if _bayes_classify(text, model_counts, class_counts, probe) == label:
+            correct += 1
+    accuracy = correct / max(1, len(test))
+    result.output = {"model_size": len(result.output), "accuracy": accuracy}
+    return result
+
+
+def mpi_bayes(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """M-Bayes (§4.1)."""
+    records = _bayes_data(scale, seed)
+    n_ranks = 6
+
+    def program(rank, comm, data, meter):
+        word_counts, class_counts = _bayes_train(data, meter)
+        merged = yield comm.allreduce(
+            ({k: dict(v) for k, v in word_counts.items()}, dict(class_counts)),
+            lambda a, b: (
+                {
+                    label: {
+                        word: a[0].get(label, {}).get(word, 0)
+                        + b[0].get(label, {}).get(word, 0)
+                        for word in set(a[0].get(label, {}))
+                        | set(b[0].get(label, {}))
+                    }
+                    for label in set(a[0]) | set(b[0])
+                },
+                {
+                    label: a[1].get(label, 0) + b[1].get(label, 0)
+                    for label in set(a[1]) | set(b[1])
+                },
+            ),
+        )
+        model = {label: Counter(words) for label, words in merged[0].items()}
+        classes = Counter(merged[1])
+        hits = 0
+        for text, label in data[: max(1, len(data) // 5)]:
+            if _bayes_classify(text, model, classes, meter) == label:
+                hits += 1
+        return hits
+
+    runtime = MpiRuntime(n_ranks=n_ranks)
+    per_rank = math.ceil(len(records) / n_ranks)
+    partitions = [
+        records[r * per_rank:(r + 1) * per_rank] for r in range(n_ranks)
+    ]
+    return runtime.run(
+        name="M-Bayes",
+        program=program,
+        partitions=partitions,
+        kernel=BAYES_KERNEL,
+        state_bytes=4 * 1024 * 1024,
+        state_fraction=0.03,
+        stream_fraction=0.004,
+        cluster=cluster,
+    )

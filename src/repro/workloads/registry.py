@@ -1,0 +1,422 @@
+"""The workload catalog.
+
+Three views of BigDataBench 3.0 as the paper uses it:
+
+- :data:`REPRESENTATIVE_WORKLOADS` — the 17 representatives of Table 2,
+  with their application category, dataset, expected system behaviour
+  and the number of workloads each represents;
+- :data:`MPI_WORKLOADS` — the six MPI re-implementations added in §4.1
+  for the software-stack study (not part of the 77);
+- :data:`ALL_WORKLOADS` — the full 77-workload population that the WCRT
+  reduction clusters down to 17.  It contains every distinct
+  operation × engine implementation built in this package plus
+  configuration variants (different scales, seeds, selectivities and
+  request mixes), mirroring how BigDataBench's 77 arise from a smaller
+  set of operations multiplied by implementations and configurations.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, List
+
+from repro.workloads import extra, kernels, ml, relational, service, tpcds_queries
+from repro.workloads.base import (
+    ApplicationCategory,
+    SystemBehavior,
+    WorkloadDefinition,
+)
+
+_DA = ApplicationCategory.DATA_ANALYSIS
+_SV = ApplicationCategory.SERVICE
+_IA = ApplicationCategory.INTERACTIVE_ANALYSIS
+_CPU = SystemBehavior.CPU_INTENSIVE
+_IO = SystemBehavior.IO_INTENSIVE
+_HY = SystemBehavior.HYBRID
+
+
+def _variant(base: Callable, name: str, **overrides) -> Callable:
+    """A configuration variant of a base workload runner.
+
+    The wrapped runner renames the result and its profile so every
+    catalog entry is distinguishable in the metric space.
+    """
+
+    @functools.wraps(base)
+    def runner(scale: float = 1.0, cluster=None, seed: int = 0):
+        kwargs = dict(overrides)
+        scale_factor = kwargs.pop("scale_factor", 1.0)
+        seed_offset = kwargs.pop("seed_offset", 0)
+        result = base(
+            scale=scale * scale_factor,
+            cluster=cluster,
+            seed=seed + seed_offset,
+            **kwargs,
+        )
+        result.name = name
+        result.profile.name = name
+        return result
+
+    return runner
+
+
+def _define(
+    workload_id: str,
+    description: str,
+    stack: str,
+    dataset: str,
+    category: ApplicationCategory,
+    behavior: SystemBehavior,
+    runner: Callable,
+    representative: bool = False,
+    represents: int = None,
+) -> WorkloadDefinition:
+    return WorkloadDefinition(
+        workload_id=workload_id,
+        description=description,
+        stack=stack,
+        dataset=dataset,
+        category=category,
+        expected_system_behavior=behavior,
+        runner=runner,
+        representative=representative,
+        represents=represents,
+    )
+
+
+#: The 17 representatives, in Table 2 order.
+REPRESENTATIVE_WORKLOADS: List[WorkloadDefinition] = [
+    _define("H-Read", "HBase random reads of ProfSearch resumes",
+            "HBase", "profsearch", _SV, _IO, service.hbase_read,
+            representative=True, represents=10),
+    _define("H-Difference", "Hive set difference of order snapshots",
+            "Hive", "ecommerce", _IA, _IO, relational.hive_difference,
+            representative=True, represents=9),
+    _define("I-SelectQuery", "Impala filter over transaction items",
+            "Impala", "ecommerce", _IA, _IO, relational.impala_select_query,
+            representative=True, represents=9),
+    _define("H-TPC-DS-query3", "Hive TPC-DS Q3 (brand revenue by year)",
+            "Hive", "tpcds_web", _IA, _HY, tpcds_queries.hive_tpcds_q3,
+            representative=True, represents=9),
+    _define("S-WordCount", "Spark word counting over Wikipedia",
+            "Spark", "wikipedia", _DA, _IO, kernels.spark_wordcount,
+            representative=True, represents=8),
+    _define("I-OrderBy", "Impala sort of transaction items",
+            "Impala", "ecommerce", _IA, _HY, relational.impala_orderby,
+            representative=True, represents=7),
+    _define("H-Grep", "Hadoop regular-expression search over Wikipedia",
+            "Hadoop", "wikipedia", _DA, _CPU, kernels.hadoop_grep,
+            representative=True, represents=7),
+    _define("S-TPC-DS-query10", "Shark TPC-DS Q10 (customer demographics)",
+            "Shark", "tpcds_web", _IA, _HY, tpcds_queries.shark_tpcds_q10,
+            representative=True, represents=4),
+    _define("S-Project", "Shark projection of transaction items",
+            "Shark", "ecommerce", _IA, _IO, relational.shark_project,
+            representative=True, represents=4),
+    _define("S-OrderBy", "Shark sort of transaction items",
+            "Shark", "ecommerce", _IA, _IO, relational.shark_orderby,
+            representative=True, represents=3),
+    _define("S-Kmeans", "Spark k-means over Facebook features",
+            "Spark", "facebook_graph", _DA, _CPU, ml.spark_kmeans,
+            representative=True, represents=1),
+    _define("S-TPC-DS-query8", "Shark TPC-DS Q8 (net paid by brand)",
+            "Shark", "tpcds_web", _IA, _HY, tpcds_queries.shark_tpcds_q8,
+            representative=True, represents=1),
+    _define("S-PageRank", "Spark PageRank over the Google web graph",
+            "Spark", "google_graph", _DA, _CPU, ml.spark_pagerank,
+            representative=True, represents=1),
+    _define("S-Grep", "Spark text search over Wikipedia",
+            "Spark", "wikipedia", _DA, _IO, kernels.spark_grep,
+            representative=True, represents=1),
+    _define("H-WordCount", "Hadoop word counting over Wikipedia",
+            "Hadoop", "wikipedia", _DA, _CPU, kernels.hadoop_wordcount,
+            representative=True, represents=1),
+    _define("H-NaiveBayes", "Hadoop naive Bayes over Amazon reviews",
+            "Hadoop", "amazon", _DA, _CPU, ml.hadoop_bayes,
+            representative=True, represents=1),
+    _define("S-Sort", "Spark sort of keyed records",
+            "Spark", "wikipedia", _DA, _HY, kernels.spark_sort,
+            representative=True, represents=1),
+]
+
+#: The six MPI re-implementations of §4.1 (software-stack study).
+MPI_WORKLOADS: List[WorkloadDefinition] = [
+    _define("M-Bayes", "MPI naive Bayes", "MPI", "amazon", _DA, _CPU, ml.mpi_bayes),
+    _define("M-Kmeans", "MPI k-means", "MPI", "facebook_graph", _DA, _CPU, ml.mpi_kmeans),
+    _define("M-PageRank", "MPI PageRank", "MPI", "google_graph", _DA, _CPU, ml.mpi_pagerank),
+    _define("M-Grep", "MPI text search", "MPI", "wikipedia", _DA, _CPU, kernels.mpi_grep),
+    _define("M-WordCount", "MPI word counting", "MPI", "wikipedia", _DA, _CPU, kernels.mpi_wordcount),
+    _define("M-Sort", "MPI sample sort", "MPI", "wikipedia", _DA, _HY, kernels.mpi_sort),
+]
+
+# ---------------------------------------------------------------------------
+# The remaining distinct implementations (operations × engines).
+# ---------------------------------------------------------------------------
+
+from repro.stacks.sql import HiveEngine, ImpalaEngine, Query, SharkEngine
+
+
+def _basic_sql(engine_cls, name, build_query, state_fraction=0.03):
+    def runner(scale: float = 1.0, cluster=None, seed: int = 0):
+        tables = relational.ecommerce_tables(scale, seed)
+        return engine_cls().execute(
+            name, build_query(), tables,
+            kernel=relational.SQL_KERNEL,
+            state_fraction=state_fraction, cluster=cluster,
+        )
+
+    return runner
+
+
+def _select_query():
+    return Query("items").filter(lambda row: row["goods_amount"] > 60.0)
+
+
+def _project_query():
+    return Query("items").project(("order_id", "goods_id", "goods_amount"))
+
+
+def _orderby_query():
+    return Query("items").order_by("goods_amount")
+
+
+def _difference_query():
+    return Query("orders").difference("old_orders", "order_id")
+
+
+_OTHER_DISTINCT: List[WorkloadDefinition] = [
+    # Cloud OLTP / service-side operations.
+    _define("H-Write", "HBase random writes", "HBase", "profsearch", _SV, _IO, extra.hbase_write),
+    _define("H-Scan", "HBase range scans", "HBase", "profsearch", _SV, _IO, extra.hbase_scan),
+    # Hadoop data analysis.
+    _define("H-Sort", "Hadoop sort", "Hadoop", "wikipedia", _DA, _HY, kernels.hadoop_sort),
+    _define("H-Kmeans", "Hadoop k-means", "Hadoop", "facebook_graph", _DA, _CPU, ml.hadoop_kmeans),
+    _define("H-PageRank", "Hadoop PageRank", "Hadoop", "google_graph", _DA, _CPU, extra.hadoop_pagerank),
+    _define("H-BFS", "Hadoop breadth-first search", "Hadoop", "google_graph", _DA, _CPU, extra.hadoop_bfs),
+    _define("H-Index", "Hadoop inverted index", "Hadoop", "wikipedia", _DA, _CPU, extra.hadoop_index),
+    # Spark data analysis.
+    _define("S-BFS", "Spark breadth-first search", "Spark", "google_graph", _DA, _CPU, extra.spark_bfs),
+    _define("S-CC", "Spark connected components", "Spark", "facebook_graph", _DA, _CPU, extra.spark_connected_components),
+    _define("S-Index", "Spark inverted index", "Spark", "wikipedia", _DA, _IO, extra.spark_index),
+    # Aggregation and join primitives per engine.
+    _define("H-Aggregation", "Hive aggregation", "Hive", "ecommerce", _IA, _HY, extra.hive_aggregation),
+    _define("S-Aggregation", "Shark aggregation", "Shark", "ecommerce", _IA, _HY, extra.shark_aggregation),
+    _define("I-Aggregation", "Impala aggregation", "Impala", "ecommerce", _IA, _HY, extra.impala_aggregation),
+    _define("H-JoinQuery", "Hive join", "Hive", "ecommerce", _IA, _HY, extra.hive_join),
+    _define("S-JoinQuery", "Shark join", "Shark", "ecommerce", _IA, _HY, extra.shark_join),
+    _define("I-JoinQuery", "Impala join", "Impala", "ecommerce", _IA, _HY, extra.impala_join),
+    # Remaining basic operators per engine.
+    _define("H-SelectQuery", "Hive filter", "Hive", "ecommerce", _IA, _IO,
+            _basic_sql(HiveEngine, "H-SelectQuery", _select_query)),
+    _define("H-Project", "Hive projection", "Hive", "ecommerce", _IA, _IO,
+            _basic_sql(HiveEngine, "H-Project", _project_query)),
+    _define("H-OrderBy", "Hive sort", "Hive", "ecommerce", _IA, _IO,
+            _basic_sql(HiveEngine, "H-OrderBy", _orderby_query)),
+    _define("I-Project", "Impala projection", "Impala", "ecommerce", _IA, _IO,
+            _basic_sql(ImpalaEngine, "I-Project", _project_query)),
+    _define("I-Difference", "Impala set difference", "Impala", "ecommerce", _IA, _IO,
+            _basic_sql(ImpalaEngine, "I-Difference", _difference_query)),
+    _define("S-SelectQuery", "Shark filter", "Shark", "ecommerce", _IA, _IO,
+            _basic_sql(SharkEngine, "S-SelectQuery", _select_query)),
+    _define("S-Difference", "Shark set difference", "Shark", "ecommerce", _IA, _IO,
+            _basic_sql(SharkEngine, "S-Difference", _difference_query)),
+    # TPC-DS queries on the sibling engines.
+    _define("H-TPC-DS-query8", "Hive TPC-DS Q8", "Hive", "tpcds_web", _IA, _HY,
+            _variant(tpcds_queries.shark_tpcds_q8, "H-TPC-DS-query8")),
+    _define("H-TPC-DS-query10", "Hive TPC-DS Q10", "Hive", "tpcds_web", _IA, _HY,
+            _variant(tpcds_queries.shark_tpcds_q10, "H-TPC-DS-query10", seed_offset=3)),
+    _define("S-TPC-DS-query3", "Shark TPC-DS Q3", "Shark", "tpcds_web", _IA, _HY,
+            _variant(tpcds_queries.hive_tpcds_q3, "S-TPC-DS-query3", seed_offset=3)),
+]
+
+# Replace the two cross-engine TPC-DS shims with true engine lowering:
+# Q8/Q10 on Hive and Q3 on Shark execute the same plans through the
+# matching engine.
+
+
+def _hive_q8(scale=1.0, cluster=None, seed=0):
+    tables = tpcds_queries.tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .filter(lambda row: row["ws_sales_price"] > 50.0)
+        .join("item", "ws_item_sk", "i_item_sk")
+        .group_by(("i_brand",), {"net": ("sum", "ws_net_paid")})
+        .order_by("net", descending=True)
+        .limit(50)
+    )
+    return HiveEngine().execute(
+        "H-TPC-DS-query8", query, tables,
+        kernel=tpcds_queries.TPCDS_KERNEL, cluster=cluster,
+    )
+
+
+def _hive_q10(scale=1.0, cluster=None, seed=0):
+    tables = tpcds_queries.tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .join("customer", "ws_bill_customer_sk", "c_customer_sk")
+        .join("customer_demographics", "c_current_cdemo_sk", "cd_demo_sk")
+        .filter(lambda row: row["cd_education_status"] == "college")
+        .group_by(("cd_gender",), {"cnt": ("count", "ws_order_number")})
+    )
+    return HiveEngine().execute(
+        "H-TPC-DS-query10", query, tables,
+        kernel=tpcds_queries.TPCDS_KERNEL, cluster=cluster,
+    )
+
+
+def _shark_q3(scale=1.0, cluster=None, seed=0):
+    tables = tpcds_queries.tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .join("date_dim", "ws_sold_date_sk", "d_date_sk")
+        .join("item", "ws_item_sk", "i_item_sk")
+        .filter(lambda row: row["i_manufact_id"] < 20 and row["d_moy"] == 11)
+        .group_by(("d_year", "i_brand_id"), {"sum_agg": ("sum", "ws_ext_sales_price")})
+        .order_by("sum_agg", descending=True)
+        .limit(100)
+    )
+    return SharkEngine().execute(
+        "S-TPC-DS-query3", query, tables,
+        kernel=tpcds_queries.TPCDS_KERNEL, cluster=cluster,
+    )
+
+
+_OTHER_DISTINCT[-3] = _define(
+    "H-TPC-DS-query8", "Hive TPC-DS Q8", "Hive", "tpcds_web", _IA, _HY, _hive_q8
+)
+_OTHER_DISTINCT[-2] = _define(
+    "H-TPC-DS-query10", "Hive TPC-DS Q10", "Hive", "tpcds_web", _IA, _HY, _hive_q10
+)
+_OTHER_DISTINCT[-1] = _define(
+    "S-TPC-DS-query3", "Shark TPC-DS Q3", "Shark", "tpcds_web", _IA, _HY, _shark_q3
+)
+
+# ---------------------------------------------------------------------------
+# Configuration variants: different request mixes, selectivities, scales
+# and data seeds, as in BigDataBench's configuration matrix.
+# ---------------------------------------------------------------------------
+
+_VARIANTS: List[WorkloadDefinition] = [
+    # Service cluster (towards H-Read's "represents 10").
+    _define("H-Read-hot", "HBase reads, hotter key mix", "HBase", "profsearch",
+            _SV, _IO, _variant(service.hbase_read, "H-Read-hot", seed_offset=1)),
+    _define("H-Read-uniform", "HBase reads, flatter key mix", "HBase", "profsearch",
+            _SV, _IO, _variant(service.hbase_read, "H-Read-uniform", seed_offset=2)),
+    _define("H-Read-large", "HBase reads, larger table", "HBase", "profsearch",
+            _SV, _IO, _variant(service.hbase_read, "H-Read-large", scale_factor=1.5)),
+    _define("H-Read-small", "HBase reads, smaller table", "HBase", "profsearch",
+            _SV, _IO, _variant(service.hbase_read, "H-Read-small", scale_factor=0.6)),
+    _define("H-Write-burst", "HBase writes, bursty", "HBase", "profsearch",
+            _SV, _IO, _variant(extra.hbase_write, "H-Write-burst", seed_offset=1)),
+    _define("H-Write-large", "HBase writes, larger rows", "HBase", "profsearch",
+            _SV, _IO, _variant(extra.hbase_write, "H-Write-large", scale_factor=1.4)),
+    _define("H-Scan-long", "HBase scans, longer ranges", "HBase", "profsearch",
+            _SV, _IO, _variant(extra.hbase_scan, "H-Scan-long", scale_factor=1.3)),
+    # Difference cluster (9).
+    _define("H-Difference-large", "Hive difference, larger snapshot", "Hive",
+            "ecommerce", _IA, _IO,
+            _variant(relational.hive_difference, "H-Difference-large", scale_factor=1.5)),
+    _define("H-Difference-small", "Hive difference, smaller snapshot", "Hive",
+            "ecommerce", _IA, _IO,
+            _variant(relational.hive_difference, "H-Difference-small", scale_factor=0.6)),
+    _define("S-Difference-large", "Shark difference, larger snapshot", "Shark",
+            "ecommerce", _IA, _IO,
+            _variant(_basic_sql(SharkEngine, "S-Difference-large", _difference_query),
+                     "S-Difference-large", scale_factor=1.4)),
+    _define("I-Difference-large", "Impala difference, larger snapshot", "Impala",
+            "ecommerce", _IA, _IO,
+            _variant(_basic_sql(ImpalaEngine, "I-Difference-large", _difference_query),
+                     "I-Difference-large", scale_factor=1.4)),
+    _define("H-Difference-v2", "Hive difference, other seed", "Hive",
+            "ecommerce", _IA, _IO,
+            _variant(relational.hive_difference, "H-Difference-v2", seed_offset=5)),
+    # Select cluster (9).
+    _define("I-SelectQuery-narrow", "Impala filter, high selectivity", "Impala",
+            "ecommerce", _IA, _IO,
+            _variant(relational.impala_select_query, "I-SelectQuery-narrow", seed_offset=1)),
+    _define("I-SelectQuery-wide", "Impala filter, low selectivity", "Impala",
+            "ecommerce", _IA, _IO,
+            _variant(relational.impala_select_query, "I-SelectQuery-wide", scale_factor=1.4)),
+    _define("H-SelectQuery-large", "Hive filter at scale", "Hive", "ecommerce",
+            _IA, _IO,
+            _variant(_basic_sql(HiveEngine, "H-SelectQuery-large", _select_query),
+                     "H-SelectQuery-large", scale_factor=1.5)),
+    _define("S-SelectQuery-large", "Shark filter at scale", "Shark", "ecommerce",
+            _IA, _IO,
+            _variant(_basic_sql(SharkEngine, "S-SelectQuery-large", _select_query),
+                     "S-SelectQuery-large", scale_factor=1.5)),
+    _define("I-SelectQuery-v2", "Impala filter, other seed", "Impala", "ecommerce",
+            _IA, _IO,
+            _variant(relational.impala_select_query, "I-SelectQuery-v2", seed_offset=7)),
+    _define("I-Project-large", "Impala projection at scale", "Impala", "ecommerce",
+            _IA, _IO,
+            _variant(_basic_sql(ImpalaEngine, "I-Project-large", _project_query),
+                     "I-Project-large", scale_factor=1.4)),
+    # Hive TPC-DS cluster (9).
+    _define("H-TPC-DS-query3-large", "Hive Q3 at scale", "Hive", "tpcds_web",
+            _IA, _HY,
+            _variant(tpcds_queries.hive_tpcds_q3, "H-TPC-DS-query3-large", scale_factor=1.6)),
+    _define("H-TPC-DS-query8-large", "Hive Q8 at scale", "Hive", "tpcds_web",
+            _IA, _HY, _variant(_hive_q8, "H-TPC-DS-query8-large", scale_factor=1.5)),
+    _define("H-TPC-DS-query10-large", "Hive Q10 at scale", "Hive", "tpcds_web",
+            _IA, _HY, _variant(_hive_q10, "H-TPC-DS-query10-large", scale_factor=1.5)),
+    # Spark WordCount / index cluster (8).
+    _define("S-WordCount-v2", "Spark word count, other seed", "Spark", "wikipedia",
+            _DA, _IO, _variant(kernels.spark_wordcount, "S-WordCount-v2", seed_offset=9)),
+    _define("S-WordCount-large", "Spark word count at scale", "Spark", "wikipedia",
+            _DA, _IO, _variant(kernels.spark_wordcount, "S-WordCount-large", scale_factor=1.5)),
+    _define("S-WordCount-small", "Spark word count, small input", "Spark", "wikipedia",
+            _DA, _IO, _variant(kernels.spark_wordcount, "S-WordCount-small", scale_factor=0.6)),
+    _define("S-Index-large", "Spark inverted index at scale", "Spark", "wikipedia",
+            _DA, _IO, _variant(extra.spark_index, "S-Index-large", scale_factor=1.4)),
+    # Impala order-by cluster (7).
+    _define("I-OrderBy-large", "Impala sort at scale", "Impala", "ecommerce",
+            _IA, _HY, _variant(relational.impala_orderby, "I-OrderBy-large", scale_factor=1.5)),
+    _define("I-Aggregation-large", "Impala aggregation at scale", "Impala",
+            "ecommerce", _IA, _HY,
+            _variant(extra.impala_aggregation, "I-Aggregation-large", scale_factor=1.4)),
+    # Hadoop CPU-analysis cluster (7).
+    _define("H-Grep-v2", "Hadoop grep, other pattern mix", "Hadoop", "wikipedia",
+            _DA, _CPU, _variant(kernels.hadoop_grep, "H-Grep-v2", seed_offset=11)),
+    _define("H-Grep-large", "Hadoop grep at scale", "Hadoop", "wikipedia",
+            _DA, _CPU, _variant(kernels.hadoop_grep, "H-Grep-large", scale_factor=1.5)),
+    # Shark TPC-DS Q10 cluster (4).
+    _define("S-TPC-DS-query10-large", "Shark Q10 at scale", "Shark", "tpcds_web",
+            _IA, _HY,
+            _variant(tpcds_queries.shark_tpcds_q10, "S-TPC-DS-query10-large", scale_factor=1.5)),
+    _define("S-Aggregation-large", "Shark aggregation at scale", "Shark",
+            "ecommerce", _IA, _HY,
+            _variant(extra.shark_aggregation, "S-Aggregation-large", scale_factor=1.4)),
+    # Shark project cluster (4).
+    _define("S-Project-large", "Shark projection at scale", "Shark", "ecommerce",
+            _IA, _IO, _variant(relational.shark_project, "S-Project-large", scale_factor=1.5)),
+    _define("S-Project-v2", "Shark projection, other seed", "Shark", "ecommerce",
+            _IA, _IO, _variant(relational.shark_project, "S-Project-v2", seed_offset=13)),
+    # Shark order-by cluster (3).
+    _define("S-OrderBy-large", "Shark sort at scale", "Shark", "ecommerce",
+            _IA, _IO, _variant(relational.shark_orderby, "S-OrderBy-large", scale_factor=1.5)),
+]
+
+#: The full 77-workload population used for the WCRT reduction.
+ALL_WORKLOADS: List[WorkloadDefinition] = (
+    REPRESENTATIVE_WORKLOADS + _OTHER_DISTINCT + _VARIANTS
+)
+
+_BY_ID: Dict[str, WorkloadDefinition] = {
+    definition.workload_id: definition
+    for definition in ALL_WORKLOADS + MPI_WORKLOADS
+}
+if len(_BY_ID) != len(ALL_WORKLOADS) + len(MPI_WORKLOADS):
+    raise RuntimeError("duplicate workload ids in the registry")
+
+
+def workload(workload_id: str) -> WorkloadDefinition:
+    """Look up any catalog entry (the 77 or the MPI six) by id."""
+    try:
+        return _BY_ID[workload_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {workload_id!r}; known ids include "
+            f"{sorted(_BY_ID)[:8]}..."
+        ) from None

@@ -1,0 +1,140 @@
+"""The interactive-analysis workloads: basic relational operators.
+
+Table 2 rows 2, 3, 6, 9 and 10: Hive set difference, Impala select
+(filter) and order-by, Shark project and order-by — each one of the
+five basic relational-algebra operators over the e-commerce transaction
+tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.datagen.table import EcommerceTransactions
+from repro.stacks.base import KernelTraits, WorkloadResult
+from repro.stacks.sql import HiveEngine, ImpalaEngine, Query, SharkEngine
+
+#: Rows in the ORDER table at scale 1 (ITEM rows follow ~6.3x).
+BASE_ORDERS = 1500
+
+SQL_KERNEL = KernelTraits(
+    code_kb=12.0,
+    ilp=2.3,
+    loop_fraction=0.38,
+    pattern_fraction=0.10,
+    data_dependent_fraction=0.52,
+    taken_prob=0.05,
+    loop_trip=20,
+    state_zipf=0.85,
+)
+
+SORT_SQL_KERNEL = KernelTraits(
+    code_kb=12.0,
+    ilp=1.9,
+    loop_fraction=0.38,
+    pattern_fraction=0.12,
+    data_dependent_fraction=0.50,
+    taken_prob=0.10,
+    loop_trip=20,
+    state_zipf=0.70,
+)
+
+
+def ecommerce_tables(scale: float = 1.0, seed: int = 0) -> Dict[str, List[dict]]:
+    """The two e-commerce tables as row dicts (Table 1, dataset 5)."""
+    generator = EcommerceTransactions(seed=17 + seed)
+    n_orders = max(100, int(BASE_ORDERS * scale))
+    orders = [
+        {
+            "order_id": row.key,
+            "buyer_id": row.fields[0],
+            "create_date": row.fields[1],
+            "total": row.fields[2],
+        }
+        for row in generator.orders(n_orders)
+    ]
+    items = [
+        {
+            "item_id": row.key,
+            "order_id": row.fields[0],
+            "goods_id": row.fields[1],
+            "goods_number": row.fields[2],
+            "goods_price": row.fields[3],
+            "goods_amount": row.fields[4],
+        }
+        for row in generator.items(n_orders)
+    ]
+    # A second order table for the set-difference workload: orders from a
+    # prior snapshot (overlapping id range).
+    old_orders = [dict(row, order_id=row["order_id"]) for row in orders[: n_orders // 2]]
+    return {"orders": orders, "items": items, "old_orders": old_orders}
+
+
+def hive_difference(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-Difference: Hive set difference (Table 2 row 2)."""
+    tables = ecommerce_tables(scale, seed)
+    query = Query("orders").difference("old_orders", "order_id")
+    return HiveEngine().execute(
+        "H-Difference", query, tables, kernel=SQL_KERNEL,
+        state_fraction=0.04, cluster=cluster,
+    )
+
+
+def impala_select_query(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """I-SelectQuery: Impala filter (Table 2 row 3)."""
+    tables = ecommerce_tables(scale, seed)
+    query = (
+        Query("items")
+        .filter(lambda row: row["goods_amount"] > 60.0)
+        .project(("item_id", "goods_id", "goods_amount"))
+    )
+    return ImpalaEngine().execute(
+        "I-SelectQuery", query, tables, kernel=SQL_KERNEL,
+        state_fraction=0.02, cluster=cluster,
+    )
+
+
+def impala_orderby(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """I-OrderBy: Impala sort (Table 2 row 6)."""
+    tables = ecommerce_tables(scale, seed)
+    query = Query("items").order_by("goods_amount", descending=True)
+    return ImpalaEngine().execute(
+        "I-OrderBy", query, tables, kernel=SORT_SQL_KERNEL,
+        state_fraction=0.03, cluster=cluster,
+    )
+
+
+def shark_project(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-Project: Shark projection (Table 2 row 9)."""
+    tables = ecommerce_tables(scale, seed)
+    query = Query("items").project(("order_id", "goods_id", "goods_amount"))
+    return SharkEngine().execute(
+        "S-Project", query, tables,
+        kernel=KernelTraits(
+            code_kb=10.0, ilp=2.9, loop_fraction=0.45,
+            pattern_fraction=0.10, data_dependent_fraction=0.45,
+            taken_prob=0.03, loop_trip=24, state_zipf=0.5,
+        ),
+        state_fraction=0.02, cluster=cluster,
+    )
+
+
+def shark_orderby(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-OrderBy: Shark sort (Table 2 row 10)."""
+    tables = ecommerce_tables(scale, seed)
+    query = Query("items").order_by("goods_amount")
+    return SharkEngine().execute(
+        "S-OrderBy", query, tables, kernel=SORT_SQL_KERNEL,
+        state_fraction=0.035, cluster=cluster,
+    )

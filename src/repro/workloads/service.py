@@ -1,0 +1,45 @@
+"""The service workload: H-Read (Table 2 row 1).
+
+Random gets against an HBase region loaded with the ProfSearch resumé
+table.  Service request streams are stochastic, which is why this is
+the paper's worst front-end workload (L1I MPKI 51, IPC 0.8).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.datagen.table import ProfSearchResumes
+from repro.stacks.base import WorkloadResult
+from repro.stacks.hbase import HBase
+
+#: Stored rows at scale 1 (the seed table has 278,956 resumés).
+BASE_ROWS = 4000
+
+#: Requests issued at scale 1.
+BASE_REQUESTS = 3000
+
+
+def hbase_read(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-Read: HBase random reads over ProfSearch resumés."""
+    n_rows = max(500, int(BASE_ROWS * scale))
+    n_requests = max(400, int(BASE_REQUESTS * scale))
+
+    generator = ProfSearchResumes(seed=29 + seed)
+    store = HBase()
+    store.load([(row.key, row.fields) for row in generator.rows(n_rows)])
+
+    # Zipf-ish request popularity: some resumés are much hotter than
+    # others, but the tail keeps requests stochastic.
+    rng = np.random.default_rng(97 + seed)
+    ranks = np.arange(1, n_rows + 1, dtype=float)
+    weights = np.power(ranks, -0.6)
+    weights /= weights.sum()
+    keys = rng.choice(n_rows, size=n_requests, p=weights)
+
+    return store.run_read_workload("H-Read", keys.tolist(), cluster=cluster)

@@ -1,0 +1,104 @@
+"""The TPC-DS decision-support workloads (Table 2 rows 4, 8, 12).
+
+H-TPC-DS-query3 (Hive), S-TPC-DS-query10 and S-TPC-DS-query8 (Shark).
+The queries follow the TPC-DS originals' shape on the web_sales star
+schema: Q3 is a date/item join with grouped aggregation, Q10 filters
+customers by demographics, Q8 aggregates sales by store/brand subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.datagen.tpcds import TpcDsWebTables
+from repro.stacks.base import KernelTraits, WorkloadResult
+from repro.stacks.sql import HiveEngine, Query, SharkEngine
+
+TPCDS_KERNEL = KernelTraits(
+    code_kb=16.0,
+    ilp=2.4,
+    loop_fraction=0.36,
+    pattern_fraction=0.10,
+    data_dependent_fraction=0.54,
+    taken_prob=0.05,
+    loop_trip=18,
+    state_zipf=0.85,
+)
+
+
+def tpcds_tables(scale: float = 1.0, seed: int = 0) -> Dict[str, List[dict]]:
+    """The web-sales star schema at ``scale``."""
+    generated = TpcDsWebTables(scale=scale, seed=23 + seed).generate()
+    return {name: getattr(generated, name) for name in generated.table_names}
+
+
+def hive_tpcds_q3(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """H-TPC-DS-query3: brand revenue by year for one manufacturer."""
+    tables = tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .join("date_dim", "ws_sold_date_sk", "d_date_sk")
+        .join("item", "ws_item_sk", "i_item_sk")
+        .filter(lambda row: row["i_manufact_id"] < 20 and row["d_moy"] == 11)
+        .group_by(
+            ("d_year", "i_brand_id"),
+            {"sum_agg": ("sum", "ws_ext_sales_price")},
+        )
+        .order_by("sum_agg", descending=True)
+        .limit(100)
+    )
+    return HiveEngine().execute(
+        "H-TPC-DS-query3", query, tables, kernel=TPCDS_KERNEL,
+        state_fraction=0.04, cluster=cluster,
+    )
+
+
+def shark_tpcds_q10(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-TPC-DS-query10: customer demographics of active buyers."""
+    tables = tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .join("customer", "ws_bill_customer_sk", "c_customer_sk")
+        .join("customer_demographics", "c_current_cdemo_sk", "cd_demo_sk")
+        .filter(lambda row: row["cd_education_status"] == "college")
+        .group_by(
+            ("cd_gender", "cd_purchase_estimate"),
+            {"cnt": ("count", "ws_order_number")},
+        )
+        .order_by("cnt", descending=True)
+    )
+    return SharkEngine().execute(
+        "S-TPC-DS-query10", query, tables, kernel=TPCDS_KERNEL,
+        state_fraction=0.04, cluster=cluster,
+    )
+
+
+def shark_tpcds_q8(
+    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+) -> WorkloadResult:
+    """S-TPC-DS-query8: net paid by brand for recent high-value sales."""
+    tables = tpcds_tables(scale, seed)
+    query = (
+        Query("web_sales")
+        .filter(lambda row: row["ws_sales_price"] > 50.0)
+        .join("item", "ws_item_sk", "i_item_sk")
+        .join("date_dim", "ws_sold_date_sk", "d_date_sk")
+        .filter(lambda row: row["d_year"] >= 2012)
+        .group_by(("i_brand",), {"net": ("sum", "ws_net_paid")})
+        .order_by("net", descending=True)
+        .limit(50)
+    )
+    return SharkEngine().execute(
+        "S-TPC-DS-query8", query, tables,
+        kernel=KernelTraits(
+            code_kb=16.0, ilp=3.0, loop_fraction=0.42,
+            pattern_fraction=0.10, data_dependent_fraction=0.48,
+            taken_prob=0.04, loop_trip=24, state_zipf=0.85,
+        ),
+        state_fraction=0.03, cluster=cluster,
+    )

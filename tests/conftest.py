@@ -1,0 +1,23 @@
+"""Shared fixtures: one characterization sweep reused across test modules."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """A session-wide experiment context at test scale."""
+    return ExperimentContext(scale=0.35)
+
+
+@pytest.fixture(scope="session")
+def rep_counters(ctx):
+    """Counters for all 17 representatives on the Xeon."""
+    return ctx.representative_counters()
+
+
+@pytest.fixture(scope="session")
+def mpi_counters(ctx):
+    """Counters for the six MPI workloads on the Xeon."""
+    return ctx.mpi_counters()

@@ -1,0 +1,193 @@
+"""Tests for branch predictors and the branch stream generator."""
+
+import pytest
+
+from repro.uarch.branch import (
+    BranchEvent,
+    BranchOutcome,
+    BranchStreamGenerator,
+    BranchTargetBuffer,
+    HybridPredictor,
+    LocalHistoryPredictor,
+    LoopPredictor,
+    SaturatingCounterTable,
+    SimplePredictor,
+    simulate_branches,
+)
+from repro.uarch.profile import BranchProfile
+
+
+class TestSaturatingCounterTable:
+    def test_initial_prediction_weakly_taken(self):
+        table = SaturatingCounterTable(16)
+        assert table.predict(0) is True
+
+    def test_training_not_taken(self):
+        table = SaturatingCounterTable(16)
+        table.update(3, False)
+        table.update(3, False)
+        assert table.predict(3) is False
+
+    def test_saturation(self):
+        table = SaturatingCounterTable(16)
+        for _ in range(10):
+            table.update(1, True)
+        table.update(1, False)
+        assert table.predict(1) is True  # one not-taken cannot flip saturated
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            SaturatingCounterTable(12)
+
+
+class TestBranchTargetBuffer:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(16, ways=4)
+        assert btb.lookup(100) is None
+        btb.update(100, 200)
+        assert btb.lookup(100) == 200
+
+    def test_capacity_eviction(self):
+        btb = BranchTargetBuffer(4, ways=4)  # one set of 4
+        for pc in range(5):
+            btb.update(pc * 1024, pc)
+        hits = sum(btb.lookup(pc * 1024) is not None for pc in range(5))
+        assert hits <= 4
+
+
+class TestLoopPredictor:
+    def test_learns_fixed_trip_count(self):
+        predictor = LoopPredictor()
+        pc = 0x100
+        trip = 5
+        # Two full loop executions teach the trip count.
+        for _iteration in range(2):
+            for i in range(trip):
+                predictor.update(pc, taken=i < trip - 1)
+        # Third execution should be predicted perfectly.
+        for i in range(trip):
+            expected = i < trip - 1
+            assert predictor.predict(pc) == expected
+            predictor.update(pc, taken=expected)
+
+    def test_unknown_pc_returns_none(self):
+        assert LoopPredictor().predict(0x42) is None
+
+
+class TestLocalHistoryPredictor:
+    def test_learns_periodic_pattern(self):
+        predictor = LocalHistoryPredictor()
+        pc = 0x200
+        pattern = [True, True, False, True]
+        for _ in range(40):
+            for outcome in pattern:
+                predictor.update(pc, outcome)
+        mistakes = 0
+        for _ in range(5):
+            for outcome in pattern:
+                if predictor.predict(pc) != outcome:
+                    mistakes += 1
+                predictor.update(pc, outcome)
+        assert mistakes <= 2
+
+
+class TestPredictorsOnStreams:
+    def run_mix(self, predictor_cls, profile, n=12_000, seed=5):
+        generator = BranchStreamGenerator(profile, seed=seed)
+        predictor = predictor_cls()
+        simulate_branches(generator.generate(n), predictor)  # warm
+        return simulate_branches(generator.generate(n), predictor)
+
+    def test_hybrid_beats_simple_on_bigdata_mix(self):
+        profile = BranchProfile(
+            loop_fraction=0.40, pattern_fraction=0.10,
+            data_dependent_fraction=0.50, taken_prob=0.04,
+            loop_trip=24, indirect_fraction=0.04, indirect_targets=4,
+            static_sites=2048,
+        )
+        hybrid = self.run_mix(HybridPredictor, profile)
+        simple = self.run_mix(SimplePredictor, profile)
+        assert hybrid.misprediction_ratio < simple.misprediction_ratio
+        # Paper: 2.8% vs 7.8% — require the same order-of-2-4x gap.
+        assert simple.misprediction_ratio > 1.5 * hybrid.misprediction_ratio
+
+    def test_loops_are_highly_predictable_on_hybrid(self):
+        profile = BranchProfile(
+            loop_fraction=1.0, pattern_fraction=0.0,
+            data_dependent_fraction=0.0, loop_trip=32,
+            indirect_fraction=0.0, static_sites=128,
+        )
+        stats = self.run_mix(HybridPredictor, profile)
+        assert stats.misprediction_ratio < 0.05
+
+    def test_random_branches_bound_by_bias(self):
+        profile = BranchProfile(
+            loop_fraction=0.0, pattern_fraction=0.0,
+            data_dependent_fraction=1.0, taken_prob=0.10,
+            indirect_fraction=0.0, static_sites=256,
+        )
+        stats = self.run_mix(HybridPredictor, profile)
+        # Cannot beat the Bernoulli bias, should not be far worse either.
+        assert 0.05 < stats.misprediction_ratio < 0.25
+
+    def test_misfetch_counted_separately(self):
+        profile = BranchProfile(
+            loop_fraction=1.0, pattern_fraction=0.0,
+            data_dependent_fraction=0.0, loop_trip=16,
+            indirect_fraction=0.0, static_sites=2048,
+        )
+        stats = self.run_mix(SimplePredictor, profile)
+        assert stats.misfetches > 0
+        assert stats.branches == 12_000
+
+    def test_mispredictions_pki(self):
+        stats = self.run_mix(
+            HybridPredictor,
+            BranchProfile(
+                loop_fraction=0.5, pattern_fraction=0.2,
+                data_dependent_fraction=0.3, static_sites=64,
+            ),
+            n=2000,
+        )
+        assert stats.mispredictions_pki(10_000) == pytest.approx(
+            stats.mispredictions / 10.0
+        )
+
+
+class TestBranchStreamGenerator:
+    def test_determinism(self):
+        profile = BranchProfile(
+            loop_fraction=0.4, pattern_fraction=0.2,
+            data_dependent_fraction=0.4, static_sites=128,
+        )
+        a = BranchStreamGenerator(profile, seed=9).generate(500)
+        b = BranchStreamGenerator(profile, seed=9).generate(500)
+        assert a == b
+
+    def test_event_count(self):
+        profile = BranchProfile(
+            loop_fraction=0.4, pattern_fraction=0.2,
+            data_dependent_fraction=0.4, static_sites=128,
+        )
+        events = BranchStreamGenerator(profile, seed=1).generate(321)
+        assert len(events) == 321
+
+    def test_indirect_fraction_respected(self):
+        profile = BranchProfile(
+            loop_fraction=0.4, pattern_fraction=0.2,
+            data_dependent_fraction=0.4, indirect_fraction=0.25,
+            static_sites=128,
+        )
+        events = BranchStreamGenerator(profile, seed=2).generate(4000)
+        indirect = sum(e.is_indirect for e in events)
+        assert 0.18 < indirect / len(events) < 0.32
+
+    def test_taken_bias(self):
+        profile = BranchProfile(
+            loop_fraction=0.0, pattern_fraction=0.0,
+            data_dependent_fraction=1.0, taken_prob=0.1,
+            indirect_fraction=0.0, static_sites=64,
+        )
+        events = BranchStreamGenerator(profile, seed=3).generate(5000)
+        taken = sum(e.taken for e in events)
+        assert 0.05 < taken / len(events) < 0.18

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_scale_flag(self):
+        args = build_parser().parse_args(["--scale", "0.2", "list"])
+        assert args.scale == 0.2
+
+    def test_platform_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "S-WordCount", "--platform", "m1"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "H-Read" in output
+        assert "77 catalog workloads" in output
+
+    def test_run_workload(self, capsys):
+        assert main(["--scale", "0.2", "run", "H-Grep"]) == 0
+        output = capsys.readouterr().out
+        assert "l1i_mpki" in output
+
+    def test_run_on_atom(self, capsys):
+        assert main(["--scale", "0.2", "run", "M-Grep", "--platform", "d510"]) == 0
+        assert "Atom" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig", "12"]) == 2
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "9"]) == 2
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "Nope"])

@@ -1,0 +1,219 @@
+"""Tests for disks, NICs, nodes, the cluster and the DFS."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    DistributedFileSystem,
+    Nic,
+    Node,
+    NodeSpec,
+    Simulation,
+)
+from repro.cluster.disk import Disk
+
+
+class TestDisk:
+    def test_transfer_time(self):
+        sim = Simulation()
+        disk = Disk(sim, bandwidth_mbps=100.0, seek_ms=0.0)
+        done = []
+
+        def reader():
+            yield disk.read(100 * 1_000_000)
+            done.append(sim.now)
+
+        sim.process(reader())
+        sim.run()
+        assert done[0] == pytest.approx(1.0)
+
+    def test_seek_added_for_random_io(self):
+        sim = Simulation()
+        disk = Disk(sim, bandwidth_mbps=100.0, seek_ms=10.0)
+        times = []
+
+        def io(sequential):
+            yield disk.read(1_000_000, sequential=sequential)
+            times.append(sim.now)
+
+        sim.process(io(True))
+        sim.run()
+        sequential_time = times[-1]
+        sim2 = Simulation()
+        disk2 = Disk(sim2, bandwidth_mbps=100.0, seek_ms=10.0)
+        times2 = []
+
+        def io2():
+            yield disk2.read(1_000_000, sequential=False)
+            times2.append(sim2.now)
+
+        sim2.process(io2())
+        sim2.run()
+        assert times2[-1] > sequential_time
+
+    def test_weighted_io_time(self):
+        sim = Simulation()
+        disk = Disk(sim, bandwidth_mbps=100.0, seek_ms=0.0)
+
+        def two_readers():
+            a = disk.read(100 * 1_000_000)
+            b = disk.read(100 * 1_000_000)
+            yield sim.all_of([a, b])
+
+        sim.process(two_readers())
+        sim.run()
+        # Two requests overlap in the queue: weighted time > wall time.
+        assert disk.weighted_io_time() > 2.0 - 1e-9
+        assert disk.bytes_read == 200 * 1_000_000
+
+    def test_byte_accounting(self):
+        sim = Simulation()
+        disk = Disk(sim)
+
+        def writer():
+            yield disk.write(1234)
+
+        sim.process(writer())
+        sim.run()
+        assert disk.bytes_written == 1234
+
+
+class TestNic:
+    def test_bandwidth(self):
+        sim = Simulation()
+        nic = Nic(sim, "n0", bandwidth_gbps=1.0)
+        done = []
+
+        def sender():
+            yield nic.send(125_000_000)  # 1 Gbit
+            done.append(sim.now)
+
+        sim.process(sender())
+        sim.run()
+        assert done[0] == pytest.approx(1.0)
+
+
+class TestNode:
+    def test_compute_uses_cores(self):
+        sim = Simulation()
+        node = Node(sim, "n", NodeSpec(cores=2))
+        done = []
+
+        def task():
+            yield node.compute(1.0)
+            done.append(sim.now)
+
+        for _ in range(4):
+            sim.process(task())
+        sim.run()
+        # 4 single-core seconds on 2 cores -> finishes at t=2.
+        assert max(done) == pytest.approx(2.0)
+        assert node.cpu_utilization(2.0) == pytest.approx(1.0)
+
+    def test_io_wait_accounting(self):
+        sim = Simulation()
+        node = Node(sim, "n", NodeSpec(cores=1, disk_bandwidth_mbps=100.0))
+
+        def task():
+            yield node.blocking_read(100 * 1_000_000)
+
+        sim.process(task())
+        sim.run()
+        assert node.io_block_time > 0.9
+
+    def test_memory_guard(self):
+        sim = Simulation()
+        node = Node(sim, "n", NodeSpec(memory_gb=4.0))
+        node.allocate_memory(3.0)
+        with pytest.raises(MemoryError):
+            node.allocate_memory(2.0)
+        node.free_memory(3.0)
+        node.allocate_memory(2.0)
+
+
+class TestCluster:
+    def test_default_is_five_nodes(self):
+        assert len(Cluster()) == 5
+
+    def test_metrics_empty_at_start(self):
+        cluster = Cluster()
+        metrics = cluster.metrics()
+        assert metrics.cpu_utilization == 0.0
+
+    def test_node_wraps(self):
+        cluster = Cluster(n_nodes=3)
+        assert cluster.node(4) is cluster.node(1)
+
+
+class TestDistributedFileSystem:
+    def test_block_count(self):
+        cluster = Cluster()
+        dfs = DistributedFileSystem(cluster, block_bytes=64 * 1024 * 1024)
+        handle = dfs.create("/f", 200 * 1024 * 1024)
+        assert handle.n_blocks == 4  # 64+64+64+8
+
+    def test_replication(self):
+        cluster = Cluster(n_nodes=5)
+        dfs = DistributedFileSystem(cluster, replication=3)
+        handle = dfs.create("/f", 64 * 1024 * 1024)
+        assert len(handle.blocks[0].replicas) == 3
+
+    def test_duplicate_create_rejected(self):
+        cluster = Cluster()
+        dfs = DistributedFileSystem(cluster)
+        dfs.create("/f", 10)
+        with pytest.raises(FileExistsError):
+            dfs.create("/f", 10)
+
+    def test_lookup_missing(self):
+        dfs = DistributedFileSystem(Cluster())
+        with pytest.raises(FileNotFoundError):
+            dfs.lookup("/missing")
+
+    def test_local_read_no_network(self):
+        cluster = Cluster(n_nodes=5)
+        dfs = DistributedFileSystem(cluster)
+        handle = dfs.create("/f", 64 * 1024 * 1024)
+        reader = handle.blocks[0].replicas[0]
+
+        def read():
+            yield dfs.read_block(handle, 0, reader)
+
+        cluster.sim.process(read())
+        cluster.run()
+        assert cluster.node(reader).disk.bytes_read > 0
+        assert all(node.nic.total_bytes == 0 for node in cluster.nodes)
+
+    def test_remote_read_uses_network(self):
+        cluster = Cluster(n_nodes=5)
+        dfs = DistributedFileSystem(cluster, replication=1)
+        handle = dfs.create("/f", 64 * 1024 * 1024)
+        holder = handle.blocks[0].replicas[0]
+        remote = (holder + 2) % 5
+
+        def read():
+            yield dfs.read_block(handle, 0, remote)
+
+        cluster.sim.process(read())
+        cluster.run()
+        assert cluster.node(holder).nic.bytes_sent > 0
+
+    def test_write_replicates(self):
+        cluster = Cluster(n_nodes=5)
+        dfs = DistributedFileSystem(cluster, replication=2)
+
+        def write():
+            yield dfs.write_file("/out", 64 * 1024 * 1024, writer_node=0)
+
+        cluster.sim.process(write())
+        cluster.run()
+        writers = [n for n in cluster.nodes if n.disk.bytes_written > 0]
+        assert len(writers) == 2
+
+    def test_blocks_on_node(self):
+        cluster = Cluster(n_nodes=5)
+        dfs = DistributedFileSystem(cluster, replication=3)
+        handle = dfs.create("/f", 5 * 64 * 1024 * 1024)
+        for node_index in range(5):
+            blocks = dfs.blocks_on_node(handle, node_index)
+            assert all(node_index in b.replicas for b in blocks)

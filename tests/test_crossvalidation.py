@@ -1,0 +1,130 @@
+"""Cross-validation against independent reference implementations.
+
+The workloads must be *functionally* correct, not just behaviourally
+plausible — these tests check our graph algorithms against networkx and
+our statistical pipeline against scipy.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy import linalg as scipy_linalg
+from scipy.cluster.vq import kmeans2
+
+from repro.core.kmeans import fit_kmeans
+from repro.core.pca import fit_pca
+from repro.datagen.graph import GoogleWebGraph
+from repro.stacks.base import Meter
+from repro.workloads.extra import _bfs
+from repro.workloads.ml import _pagerank_iteration
+
+
+@pytest.fixture(scope="module")
+def web_graph():
+    generator = GoogleWebGraph(scale=0.001, seed=3)
+    return generator.adjacency()
+
+
+def to_networkx(adjacency) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(adjacency)
+    for source, targets in adjacency.items():
+        for target in targets:
+            graph.add_edge(source, target)
+    return graph
+
+
+class TestGraphAlgorithmsVsNetworkx:
+    def test_bfs_distances_match(self, web_graph):
+        ours = _bfs(web_graph, 0, Meter())
+        reference = nx.single_source_shortest_path_length(
+            to_networkx(web_graph), 0
+        )
+        assert ours == dict(reference)
+
+    def test_pagerank_matches(self, web_graph):
+        n = len(web_graph)
+        ranks = {node: 1.0 / n for node in web_graph}
+        meter = Meter()
+        for _ in range(60):
+            ranks = _pagerank_iteration(web_graph, ranks, meter)
+
+        # networkx uses the same damping but redistributes dangling mass;
+        # compare after normalising both to unit sum.
+        reference = nx.pagerank(
+            to_networkx(web_graph), alpha=0.85, max_iter=200, tol=1e-12,
+        )
+        ours_total = sum(ranks.values())
+        ours = {node: value / ours_total for node, value in ranks.items()}
+
+        top_ours = [n for n, _ in sorted(ours.items(), key=lambda kv: -kv[1])[:10]]
+        top_reference = [
+            n for n, _ in sorted(reference.items(), key=lambda kv: -kv[1])[:10]
+        ]
+        # The top of the ranking (what S-PageRank reports) must agree.
+        assert set(top_ours[:5]) == set(top_reference[:5])
+
+    def test_connected_components_count(self):
+        from repro.datagen.graph import FacebookSocialGraph
+
+        graph = FacebookSocialGraph(scale=0.05, seed=4)
+        adjacency = graph.adjacency()
+        undirected = nx.Graph()
+        undirected.add_nodes_from(adjacency)
+        for source, targets in adjacency.items():
+            for target in targets:
+                undirected.add_edge(source, target)
+        reference = nx.number_connected_components(undirected)
+
+        # Label propagation as used by S-CC.
+        labels = {node: node for node in adjacency}
+        changed = True
+        while changed:
+            changed = False
+            for node, targets in adjacency.items():
+                for target in targets:
+                    if labels[target] < labels[node]:
+                        labels[node] = labels[target]
+                        changed = True
+        assert len(set(labels.values())) == reference
+
+
+class TestStatisticsVsScipy:
+    def test_pca_components_match_svd(self):
+        rng = np.random.default_rng(11)
+        matrix = rng.normal(size=(60, 8))
+        ours = fit_pca(matrix, n_components=4)
+
+        centered = matrix - matrix.mean(axis=0)
+        _u, s, vt = scipy_linalg.svd(centered, full_matrices=False)
+        reference_variance = (s ** 2) / (matrix.shape[0] - 1)
+
+        assert np.allclose(
+            ours.explained_variance, reference_variance[:4], rtol=1e-8
+        )
+        for i in range(4):
+            # Eigenvectors match up to sign.
+            dot = abs(np.dot(ours.components[i], vt[i]))
+            assert dot == pytest.approx(1.0, abs=1e-8)
+
+    def test_kmeans_quality_matches_scipy(self):
+        rng = np.random.default_rng(12)
+        centers = rng.uniform(-10, 10, size=(4, 5))
+        points = np.vstack(
+            [c + rng.normal(0, 0.2, size=(25, 5)) for c in centers]
+        )
+        ours = fit_kmeans(points, k=4, seed=2)
+        _centroids, labels = kmeans2(points, 4, seed=2, minit="++")
+
+        def inertia(pts, labels_):
+            total = 0.0
+            for cluster in range(4):
+                members = pts[labels_ == cluster]
+                if len(members):
+                    total += ((members - members.mean(axis=0)) ** 2).sum()
+            return total
+
+        reference = inertia(points, labels)
+        # Same ballpark objective: neither implementation should be more
+        # than 10% worse than the other on well-separated blobs.
+        assert ours.inertia <= 1.1 * reference + 1e-9

@@ -1,0 +1,194 @@
+"""Tests for the BDGS data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import (
+    DATASETS,
+    AmazonReviews,
+    EcommerceTransactions,
+    FacebookSocialGraph,
+    GoogleWebGraph,
+    ProfSearchResumes,
+    TpcDsWebTables,
+    WikipediaCorpus,
+    dataset,
+)
+from repro.datagen.graph import GraphConfig, GraphGenerator
+from repro.datagen.table import rows_to_columns
+from repro.datagen.text import TextConfig, TextGenerator
+
+
+class TestTextGenerator:
+    def test_determinism(self):
+        a = list(WikipediaCorpus(seed=5).documents(3))
+        b = list(WikipediaCorpus(seed=5).documents(3))
+        assert a == b
+
+    def test_word_frequencies_are_zipfian(self):
+        generator = TextGenerator(TextConfig(vocabulary_size=500), seed=2)
+        words = generator.words(20_000)
+        from collections import Counter
+
+        counts = Counter(words)
+        frequencies = sorted(counts.values(), reverse=True)
+        # Head should massively dominate the tail.
+        assert frequencies[0] > 10 * frequencies[min(99, len(frequencies) - 1)]
+
+    def test_doc_length_near_mean(self):
+        generator = TextGenerator(
+            TextConfig(mean_words_per_doc=100), seed=3
+        )
+        lengths = [len(d.split()) for d in generator.documents(30)]
+        assert 80 < np.mean(lengths) < 120
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TextConfig(zipf_exponent=0.9)
+        with pytest.raises(ValueError):
+            TextConfig(vocabulary_size=0)
+
+    def test_amazon_scores_j_shaped(self):
+        reviews = list(AmazonReviews(seed=4).reviews(400))
+        scores = [score for _, score in reviews]
+        five = scores.count(5) / len(scores)
+        two = scores.count(2) / len(scores)
+        assert five > 0.4
+        assert two < 0.15
+
+    def test_amazon_sentiment_signal(self):
+        for text, score in AmazonReviews(seed=4).reviews(50):
+            if score >= 4:
+                assert "wonderful" in text
+            else:
+                assert "terrible" in text
+
+
+class TestGraphGenerator:
+    def test_determinism(self):
+        a = GoogleWebGraph(scale=0.001, seed=1).edges()
+        b = GoogleWebGraph(scale=0.001, seed=1).edges()
+        assert a == b
+
+    def test_degree_skew(self):
+        graph = GoogleWebGraph(scale=0.002, seed=2)
+        adjacency = graph.adjacency()
+        in_degrees = {}
+        for _source, targets in adjacency.items():
+            for target in targets:
+                in_degrees[target] = in_degrees.get(target, 0) + 1
+        degrees = sorted(in_degrees.values(), reverse=True)
+        # Power-law-ish: the top node has many times the median degree.
+        assert degrees[0] >= 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_mean_degree_preserved(self):
+        graph = GoogleWebGraph(scale=0.002, seed=3)
+        edges = graph.edges()
+        ratio = len(edges) / graph.config.n_nodes
+        expected = GoogleWebGraph.SEED_EDGES / GoogleWebGraph.SEED_NODES
+        assert 0.6 * expected < ratio < 1.6 * expected
+
+    def test_undirected_graph_has_symmetric_edges(self):
+        graph = FacebookSocialGraph(scale=0.05, seed=4)
+        edges = set(graph.edges())
+        sampled = list(edges)[:50]
+        assert all((b, a) in edges for a, b in sampled)
+
+    def test_feature_vectors_shape(self):
+        graph = FacebookSocialGraph(scale=0.05, seed=5)
+        features = graph.feature_vectors(dimensions=6)
+        assert features.shape == (graph.config.n_nodes, 6)
+
+    def test_no_self_loops(self):
+        generator = GraphGenerator(
+            GraphConfig(n_nodes=200, mean_out_degree=4), seed=6
+        )
+        assert all(a != b for a, b in generator.edges())
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            GoogleWebGraph(scale=0.0)
+
+
+class TestTableGenerators:
+    def test_ecommerce_item_ratio(self):
+        generator = EcommerceTransactions(seed=7)
+        orders = list(generator.orders(200))
+        items = list(generator.items(200))
+        ratio = len(items) / len(orders)
+        expected = (
+            EcommerceTransactions.SEED_ITEMS / EcommerceTransactions.SEED_ORDERS
+        )
+        assert 0.7 * expected < ratio < 1.3 * expected
+
+    def test_order_schema(self):
+        row = next(EcommerceTransactions(seed=8).orders(1))
+        assert len(row.fields) == 3  # + key = 4 columns (Table 1)
+
+    def test_item_schema(self):
+        row = next(EcommerceTransactions(seed=8).items(1))
+        assert len(row.fields) == 5  # + key = 6 columns (Table 1)
+
+    def test_resume_record_size(self):
+        row = next(ProfSearchResumes(seed=9).rows(1))
+        assert 1000 < row.size_bytes() < 1200  # ~1128 bytes per Table 2
+
+    def test_rows_to_columns(self):
+        rows = list(EcommerceTransactions(seed=10).orders(5))
+        columns = rows_to_columns(rows)
+        assert len(columns) == 3
+        assert len(columns[0]) == 5
+
+    def test_rows_to_columns_empty(self):
+        assert rows_to_columns([]) == {}
+
+
+class TestTpcDs:
+    def test_table_shapes(self):
+        tables = TpcDsWebTables(scale=0.1, seed=11).generate()
+        sizes = TpcDsWebTables.sizes(tables)
+        assert sizes["web_sales"] >= 100
+        assert sizes["date_dim"] == 365 * TpcDsWebTables.N_YEARS
+        assert set(sizes) == {
+            "date_dim", "item", "customer", "customer_demographics", "web_sales",
+        }
+
+    def test_foreign_keys_resolve(self):
+        tables = TpcDsWebTables(scale=0.05, seed=12).generate()
+        item_keys = {row["i_item_sk"] for row in tables.item}
+        date_keys = {row["d_date_sk"] for row in tables.date_dim}
+        for sale in tables.web_sales[:200]:
+            assert sale["ws_item_sk"] in item_keys
+            assert sale["ws_sold_date_sk"] in date_keys
+
+    def test_item_popularity_skew(self):
+        tables = TpcDsWebTables(scale=0.3, seed=13).generate()
+        from collections import Counter
+
+        counts = Counter(s["ws_item_sk"] for s in tables.web_sales)
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 4 * max(1, frequencies[len(frequencies) // 2])
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TpcDsWebTables(scale=0)
+
+
+class TestCatalog:
+    def test_seven_datasets(self):
+        assert len(DATASETS) == 7  # Table 1
+
+    def test_lookup(self):
+        assert dataset("wikipedia").record_bytes == 64 * 1024
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            dataset("nope")
+
+
+@given(st.integers(min_value=1, max_value=50))
+@settings(max_examples=10, deadline=None)
+def test_word_count_requested(n):
+    generator = TextGenerator(TextConfig(vocabulary_size=100), seed=1)
+    assert len(generator.words(n)) == n

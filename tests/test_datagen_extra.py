@@ -1,0 +1,87 @@
+"""Additional generator properties: determinism, scaling, distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import (
+    EcommerceTransactions,
+    GoogleWebGraph,
+    TpcDsWebTables,
+    WikipediaCorpus,
+)
+from repro.datagen.graph import GraphConfig, GraphGenerator
+
+
+class TestScaling:
+    def test_graph_scale_monotonic(self):
+        small = GoogleWebGraph(scale=0.001, seed=1)
+        large = GoogleWebGraph(scale=0.003, seed=1)
+        assert large.config.n_nodes > small.config.n_nodes
+        assert len(large.edges()) > len(small.edges())
+
+    def test_tpcds_scale_monotonic(self):
+        small = TpcDsWebTables(scale=0.05, seed=2).generate()
+        large = TpcDsWebTables(scale=0.2, seed=2).generate()
+        assert len(large.web_sales) > len(small.web_sales)
+        # Dimensions grow sub-linearly, as in DSGen.
+        sales_ratio = len(large.web_sales) / len(small.web_sales)
+        item_ratio = len(large.item) / len(small.item)
+        assert item_ratio < sales_ratio
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_text_determinism_any_seed(self, seed):
+        a = list(WikipediaCorpus(seed=seed).documents(2))
+        b = list(WikipediaCorpus(seed=seed).documents(2))
+        assert a == b
+
+
+class TestDistributionShapes:
+    def test_order_totals_positive_and_skewed(self):
+        orders = list(EcommerceTransactions(seed=3).orders(500))
+        totals = np.array([row.fields[2] for row in orders])
+        assert (totals > 0).all()
+        # Gamma-shaped: mean above median.
+        assert totals.mean() > np.median(totals)
+
+    def test_graph_attachment_bias_controls_skew(self):
+        flat = GraphGenerator(
+            GraphConfig(n_nodes=600, mean_out_degree=4, attachment_bias=0.0),
+            seed=4,
+        )
+        skewed = GraphGenerator(
+            GraphConfig(n_nodes=600, mean_out_degree=4, attachment_bias=0.95),
+            seed=4,
+        )
+
+        def max_in_degree(generator):
+            counts = {}
+            for _s, t in generator.edges():
+                counts[t] = counts.get(t, 0) + 1
+            return max(counts.values())
+
+        assert max_in_degree(skewed) > 2 * max_in_degree(flat)
+
+    def test_tpcds_sales_prices_consistent(self):
+        tables = TpcDsWebTables(scale=0.05, seed=5).generate()
+        for sale in tables.web_sales[:100]:
+            assert sale["ws_ext_sales_price"] == pytest.approx(
+                sale["ws_sales_price"] * sale["ws_quantity"], abs=0.02
+            )
+            assert sale["ws_net_paid"] <= sale["ws_ext_sales_price"] + 1e-9
+
+
+class TestRecordSizes:
+    """Table 2 quotes per-dataset record sizes; the generators should be
+    in the right regime for the workloads' byte accounting."""
+
+    def test_wiki_documents_are_kilobytes(self):
+        docs = list(WikipediaCorpus(seed=6).documents(10))
+        sizes = [len(d) for d in docs]
+        assert 1000 < np.mean(sizes) < 10_000
+
+    def test_ecommerce_rows_are_tens_of_bytes(self):
+        rows = list(EcommerceTransactions(seed=7).orders(20))
+        sizes = [row.size_bytes() for row in rows]
+        assert 20 < np.mean(sizes) < 120  # paper: ~52 B

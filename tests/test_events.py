@@ -1,0 +1,177 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.cluster.events import Resource, Simulation
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        sim = Simulation()
+        fired = []
+
+        def process():
+            yield sim.timeout(5.0)
+            fired.append(sim.now)
+
+        sim.process(process())
+        sim.run()
+        assert fired == [5.0]
+
+    def test_ordering(self):
+        sim = Simulation()
+        order = []
+
+        def process(delay, tag):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        sim.process(process(3.0, "c"))
+        sim.process(process(1.0, "a"))
+        sim.process(process(2.0, "b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until(self):
+        sim = Simulation()
+
+        def process():
+            yield sim.timeout(10.0)
+
+        sim.process(process())
+        final = sim.run(until=4.0)
+        assert final == 4.0
+
+
+class TestProcesses:
+    def test_return_value_becomes_event_value(self):
+        sim = Simulation()
+
+        def inner():
+            yield sim.timeout(1.0)
+            return 42
+
+        results = []
+
+        def outer():
+            value = yield sim.process(inner())
+            results.append(value)
+
+        sim.process(outer())
+        sim.run()
+        assert results == [42]
+
+    def test_bad_yield_type(self):
+        sim = Simulation()
+
+        def process():
+            yield "not an event"
+
+        sim.process(process())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_all_of(self):
+        sim = Simulation()
+        done = []
+
+        def worker(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def coordinator():
+            gate = sim.all_of([
+                sim.process(worker(2.0)),
+                sim.process(worker(5.0)),
+            ])
+            values = yield gate
+            done.append((sim.now, values))
+
+        sim.process(coordinator())
+        sim.run()
+        assert done == [(5.0, [2.0, 5.0])]
+
+
+class TestResource:
+    def test_contention_serialises(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        finish = []
+
+        def worker(tag):
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(2.0)
+            finally:
+                resource.release()
+            finish.append((tag, sim.now))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert finish == [("a", 2.0), ("b", 4.0)]
+
+    def test_capacity_parallelism(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=2)
+        finish = []
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(3.0)
+            finally:
+                resource.release()
+            finish.append(sim.now)
+
+        for _ in range(2):
+            sim.process(worker())
+        sim.run()
+        assert finish == [3.0, 3.0]
+
+    def test_utilization_accounting(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(4.0)
+            finally:
+                resource.release()
+            yield sim.timeout(4.0)  # idle tail
+
+        sim.process(worker())
+        sim.run()
+        assert resource.utilization() == pytest.approx(0.5)
+
+    def test_release_without_request(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_queue_time_accumulates(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(2.0)
+            finally:
+                resource.release()
+
+        sim.process(worker())
+        sim.process(worker())
+        sim.run()
+        assert resource.queue_time() == pytest.approx(2.0)

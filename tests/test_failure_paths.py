@@ -1,0 +1,134 @@
+"""Failure-injection and error-path tests across the substrates."""
+
+import pytest
+
+from repro.cluster import Cluster, DistributedFileSystem, Simulation
+from repro.cluster.events import Resource
+from repro.stacks import Hadoop, MapReduceJob, MpiRuntime, Spark
+from repro.stacks.base import KernelTraits, Meter
+from repro.stacks.sql import HiveEngine, Query
+from repro.uarch.profile import (
+    BranchProfile,
+    CodeFootprint,
+    CodeRegion,
+    DataFootprint,
+)
+
+
+class TestEngineFailures:
+    def test_mapper_exception_propagates_with_context(self):
+        def broken_mapper(record, emit, meter):
+            raise RuntimeError("mapper exploded")
+
+        job = MapReduceJob(name="broken", mapper=broken_mapper)
+        with pytest.raises(RuntimeError, match="mapper exploded"):
+            Hadoop().run(job, ["a", "b"])
+
+    def test_reducer_exception_propagates(self):
+        def mapper(record, emit, meter):
+            emit(record, 1)
+
+        def broken_reducer(key, values, emit, meter):
+            raise ValueError("reducer exploded")
+
+        job = MapReduceJob(name="broken", mapper=mapper, reducer=broken_reducer)
+        with pytest.raises(ValueError, match="reducer exploded"):
+            Hadoop().run(job, ["a"])
+
+    def test_spark_transform_exception_propagates(self):
+        spark = Spark()
+        rdd = spark.parallelize([1, 2, 3]).map(lambda x: 1 / (x - 2))
+        with pytest.raises(ZeroDivisionError):
+            rdd.collect()
+
+    def test_mpi_rank_exception_propagates(self):
+        def program(rank, comm, data, meter):
+            if rank == 1:
+                raise RuntimeError("rank 1 died")
+            yield comm.gather(rank)
+
+        runtime = MpiRuntime(n_ranks=3)
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            runtime.run("t", program, [[1]] * 3, KernelTraits(),
+                        state_bytes=1024)
+
+    def test_sql_bad_aggregate_function(self):
+        query = Query("t").group_by(("k",), {"x": ("median", "v")})
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            HiveEngine().execute(
+                "q", query, {"t": [{"k": 1, "v": 2.0}]}
+            )
+
+    def test_sql_missing_column_raises_keyerror(self):
+        query = Query("t").project(("missing",))
+        with pytest.raises(KeyError):
+            HiveEngine().execute("q", query, {"t": [{"k": 1}]})
+
+
+class TestClusterFailures:
+    def test_dfs_read_of_deleted_file(self):
+        cluster = Cluster()
+        dfs = DistributedFileSystem(cluster)
+        handle = dfs.create("/f", 1024)
+        dfs.delete("/f")
+        with pytest.raises(FileNotFoundError):
+            dfs.lookup("/f")
+        # The stale handle still indexes its blocks; out-of-range access
+        # fails loudly rather than silently reading nothing.
+        with pytest.raises(IndexError):
+            dfs.read_block(handle, 99, 0)
+
+    def test_resource_double_release_detected(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=2)
+
+        def task():
+            grant = resource.request()
+            yield grant
+            resource.release()
+            resource.release()  # bug: releasing twice
+
+        sim.process(task())
+        with pytest.raises(RuntimeError, match="release without request"):
+            sim.run()
+
+    def test_memory_exhaustion_is_loud(self):
+        cluster = Cluster()
+        node = cluster.node(0)
+        with pytest.raises(MemoryError):
+            node.allocate_memory(10_000.0)
+
+
+class TestProfileValidation:
+    def test_empty_code_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            CodeFootprint(regions=[])
+
+    def test_zero_weight_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            CodeFootprint(
+                regions=[CodeRegion("r", 1024, weight=0.0)]
+            )
+
+    def test_tiny_region_rejected(self):
+        with pytest.raises(ValueError):
+            CodeRegion("r", 16, weight=1.0)
+
+    def test_branch_fractions_must_sum(self):
+        with pytest.raises(ValueError):
+            BranchProfile(
+                loop_fraction=0.5, pattern_fraction=0.5,
+                data_dependent_fraction=0.5,
+            )
+
+    def test_data_fractions_bounded(self):
+        with pytest.raises(ValueError):
+            DataFootprint(
+                stream_bytes=1024, state_bytes=1024,
+                state_fraction=0.6, hot_fraction=0.6,
+            )
+
+    def test_meter_shuffle_negative_bytes(self):
+        meter = Meter()
+        meter.record_shuffle(10)
+        assert meter.bytes_shuffled == 10

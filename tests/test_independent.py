@@ -1,0 +1,100 @@
+"""Tests for the microarchitecture-independent characterization."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INDEPENDENT_METRIC_NAMES,
+    adjusted_rand_index,
+    independent_matrix,
+    independent_vector,
+    reduce_workloads_independent,
+)
+from repro.workloads.kernels import (
+    hadoop_wordcount,
+    mpi_wordcount,
+    spark_wordcount,
+)
+
+
+@pytest.fixture(scope="module")
+def wordcount_profiles():
+    return {
+        "mpi": mpi_wordcount(scale=0.25).profile,
+        "hadoop": hadoop_wordcount(scale=0.25).profile,
+        "spark": spark_wordcount(scale=0.25).profile,
+    }
+
+
+class TestIndependentVector:
+    def test_vector_length(self, wordcount_profiles):
+        vector = independent_vector(wordcount_profiles["mpi"])
+        assert vector.shape == (len(INDEPENDENT_METRIC_NAMES),)
+        assert np.isfinite(vector).all()
+
+    def test_no_platform_dependence(self, wordcount_profiles):
+        # The vector is a pure function of the profile — recomputing
+        # yields identical values (no simulation noise).
+        a = independent_vector(wordcount_profiles["hadoop"])
+        b = independent_vector(wordcount_profiles["hadoop"])
+        assert np.array_equal(a, b)
+
+    def test_stack_visible_in_code_footprint(self, wordcount_profiles):
+        index = INDEPENDENT_METRIC_NAMES.index("log_code_footprint")
+        mpi = independent_vector(wordcount_profiles["mpi"])[index]
+        hadoop = independent_vector(wordcount_profiles["hadoop"])[index]
+        assert hadoop > mpi + 1.0  # >2x footprint in log2 space
+
+    def test_matrix_shape(self, wordcount_profiles):
+        matrix = independent_matrix(list(wordcount_profiles.values()))
+        assert matrix.shape == (3, len(INDEPENDENT_METRIC_NAMES))
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            independent_matrix([])
+
+
+class TestIndependentReduction:
+    def test_reduction_runs(self, wordcount_profiles):
+        profiles = list(wordcount_profiles.values()) * 3
+        names = [f"w{i}" for i in range(len(profiles))]
+        result = reduce_workloads_independent(names, profiles, k=3, seed=1)
+        assert result.n_clusters == 3
+
+    def test_same_stack_clusters_together(self, wordcount_profiles):
+        # Two copies of each stack's profile must land in one cluster.
+        profiles = []
+        names = []
+        for stack, profile in wordcount_profiles.items():
+            for copy in range(2):
+                profiles.append(profile)
+                names.append(f"{stack}-{copy}")
+        result = reduce_workloads_independent(names, profiles, k=3, seed=1)
+        for stack in wordcount_profiles:
+            assert result.cluster_of(f"{stack}-0") == result.cluster_of(
+                f"{stack}-1"
+            )
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == pytest.approx(1.0)
+
+    def test_orthogonal_partitions_near_zero(self):
+        ari = adjusted_rand_index([0, 0, 1, 1, 2, 2], [0, 1, 2, 0, 1, 2])
+        assert ari < 0.2
+
+    def test_symmetry(self):
+        a = [0, 0, 1, 1, 2, 2, 2]
+        b = [0, 1, 1, 1, 2, 0, 2]
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0, 1], [0, 1, 2])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index([0], [0])

@@ -1,0 +1,54 @@
+"""Package-level hygiene: exports, versioning, documentation coverage."""
+
+import importlib
+import pkgutil
+
+import repro
+
+PUBLIC_MODULES = [
+    name
+    for _finder, name, _ispkg in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+]
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        assert len(repro.ALL_WORKLOADS) == 77
+        assert callable(repro.characterize)
+        assert repro.XEON_E5645.cores == 6
+
+    def test_all_modules_import(self):
+        for name in PUBLIC_MODULES:
+            importlib.import_module(name)
+
+    def test_every_module_documented(self):
+        undocumented = []
+        for name in PUBLIC_MODULES:
+            module = importlib.import_module(name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(name)
+        assert undocumented == []
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in PUBLIC_MODULES:
+            module = importlib.import_module(name)
+            for attr_name in dir(module):
+                if attr_name.startswith("_"):
+                    continue
+                attr = getattr(module, attr_name)
+                if isinstance(attr, type) and attr.__module__ == name:
+                    if not (attr.__doc__ or "").strip():
+                        undocumented.append(f"{name}.{attr_name}")
+        assert undocumented == []
+
+    def test_metric_name_count_is_45(self):
+        from repro.uarch.counters import METRIC_NAMES
+
+        assert len(METRIC_NAMES) == 45
+        assert len(set(METRIC_NAMES)) == 45

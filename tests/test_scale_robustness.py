@@ -1,0 +1,51 @@
+"""Scale robustness: characterizations are stable across input scales.
+
+The paper's methodology depends on metrics being properties of the
+workload, not of the input size; these tests pin the anchors' key
+metrics within a factor band when the input scale doubles.
+"""
+
+import pytest
+
+from repro.uarch import XEON_E5645, characterize
+from repro.workloads.kernels import hadoop_wordcount, mpi_wordcount, spark_wordcount
+
+
+@pytest.mark.parametrize(
+    "runner", [hadoop_wordcount, spark_wordcount, mpi_wordcount]
+)
+class TestScaleStability:
+    def metrics_at(self, runner, scale):
+        result = runner(scale=scale)
+        return characterize(result.profile, XEON_E5645).metric_dict()
+
+    def test_mix_is_scale_invariant(self, runner):
+        small = self.metrics_at(runner, 0.25)
+        large = self.metrics_at(runner, 0.5)
+        for metric in ("ratio_branch", "ratio_integer", "ratio_load"):
+            assert small[metric] == pytest.approx(large[metric], abs=0.03)
+
+    def test_l1i_within_factor_band(self, runner):
+        small = self.metrics_at(runner, 0.25)["l1i_mpki"]
+        large = self.metrics_at(runner, 0.5)["l1i_mpki"]
+        assert large == pytest.approx(small, rel=0.6, abs=1.5)
+
+    def test_ipc_within_band(self, runner):
+        small = self.metrics_at(runner, 0.25)["ipc"]
+        large = self.metrics_at(runner, 0.5)["ipc"]
+        assert large == pytest.approx(small, rel=0.3)
+
+
+class TestStackOrderingHoldsAcrossScales:
+    @pytest.mark.parametrize("scale", [0.25, 0.5])
+    def test_l1i_ordering(self, scale):
+        mpi = characterize(
+            mpi_wordcount(scale=scale).profile, XEON_E5645
+        ).l1i_mpki
+        hadoop = characterize(
+            hadoop_wordcount(scale=scale).profile, XEON_E5645
+        ).l1i_mpki
+        spark = characterize(
+            spark_wordcount(scale=scale).profile, XEON_E5645
+        ).l1i_mpki
+        assert mpi < hadoop < spark  # the §5.5 ordering at every scale

@@ -1,0 +1,83 @@
+"""Deeper SQL-engine semantics: multi-operator plans and engine traits."""
+
+import pytest
+
+from repro.stacks.sql import HiveEngine, ImpalaEngine, Query, SharkEngine
+
+
+def star_tables():
+    fact = [
+        {"id": i, "dim_id": i % 3, "v": float(i)} for i in range(30)
+    ]
+    dim = [{"dim_id": d, "label": f"d{d}"} for d in range(3)]
+    return {"fact": fact, "dim": dim}
+
+
+class TestPlanComposition:
+    def test_join_then_group_then_order(self):
+        query = (
+            Query("fact")
+            .join("dim", "dim_id", "dim_id")
+            .group_by(("label",), {"total": ("sum", "v")})
+            .order_by("total", descending=True)
+        )
+        result = ImpalaEngine().execute("q", query, star_tables())
+        totals = [row["total"] for row in result.output]
+        assert totals == sorted(totals, reverse=True)
+        assert len(result.output) == 3
+
+    def test_filter_before_join_reduces_rows(self):
+        unfiltered = (
+            Query("fact").join("dim", "dim_id", "dim_id")
+        )
+        filtered = (
+            Query("fact")
+            .filter(lambda row: row["v"] > 20)
+            .join("dim", "dim_id", "dim_id")
+        )
+        a = HiveEngine().execute("a", unfiltered, star_tables())
+        b = HiveEngine().execute("b", filtered, star_tables())
+        assert len(b.output) < len(a.output)
+
+    def test_limit_after_order(self):
+        query = Query("fact").order_by("v", descending=True).limit(5)
+        result = SharkEngine().execute("q", query, star_tables())
+        assert [row["v"] for row in result.output] == [29.0, 28.0, 27.0, 26.0, 25.0]
+
+    def test_chained_filters(self):
+        query = (
+            Query("fact")
+            .filter(lambda row: row["v"] > 5)
+            .filter(lambda row: row["v"] < 10)
+        )
+        result = ImpalaEngine().execute("q", query, star_tables())
+        assert sorted(row["v"] for row in result.output) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_empty_result_is_fine(self):
+        query = Query("fact").filter(lambda row: False)
+        result = HiveEngine().execute("q", query, star_tables())
+        assert result.output == []
+        assert result.profile.instructions > 0
+
+
+class TestEngineTraitDifferences:
+    def test_impala_profile_is_thinner(self):
+        query = Query("fact").order_by("v")
+        hive = HiveEngine().execute("q", query, star_tables())
+        impala = ImpalaEngine().execute("q", query, star_tables())
+        # Same rows, different stacks.
+        assert hive.output == impala.output
+        assert hive.profile.instructions > impala.profile.instructions
+        assert (
+            hive.profile.code.total_bytes > impala.profile.code.total_bytes
+        )
+
+    def test_wide_ops_record_intermediates(self):
+        query = Query("fact").group_by(("dim_id",), {"n": ("count", "id")})
+        result = SharkEngine().execute("q", query, star_tables())
+        assert result.meter.bytes_shuffled > 0
+
+    def test_narrow_only_plan_has_no_intermediate(self):
+        query = Query("fact").filter(lambda row: row["v"] > 3).project(("id",))
+        result = ImpalaEngine().execute("q", query, star_tables())
+        assert result.meter.bytes_shuffled == 0

@@ -1,0 +1,231 @@
+"""Functional tests for the workload implementations and the registry."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    MPI_WORKLOADS,
+    REPRESENTATIVE_WORKLOADS,
+    workload,
+)
+from repro.workloads.base import (
+    ApplicationCategory,
+    DataBehavior,
+    DataRatio,
+    SystemBehavior,
+    classify_system_behavior,
+)
+from repro.workloads.kernels import (
+    GREP_PATTERN,
+    hadoop_grep,
+    hadoop_sort,
+    hadoop_wordcount,
+    mpi_sort,
+    mpi_wordcount,
+    spark_wordcount,
+    wiki_documents,
+)
+from repro.workloads.ml import hadoop_bayes, mpi_kmeans, spark_kmeans, spark_pagerank
+from repro.workloads.relational import ecommerce_tables, hive_difference
+from repro.workloads.tpcds_queries import hive_tpcds_q3
+
+
+SCALE = 0.25
+
+
+class TestRegistry:
+    def test_exactly_77_workloads(self):
+        assert len(ALL_WORKLOADS) == 77
+
+    def test_17_representatives(self):
+        assert len(REPRESENTATIVE_WORKLOADS) == 17
+
+    def test_represents_sums_to_77(self):
+        assert sum(w.represents for w in REPRESENTATIVE_WORKLOADS) == 77
+
+    def test_six_mpi_workloads(self):
+        assert len(MPI_WORKLOADS) == 6
+        assert {w.workload_id for w in MPI_WORKLOADS} == {
+            "M-Bayes", "M-Kmeans", "M-PageRank", "M-Grep", "M-WordCount",
+            "M-Sort",
+        }
+
+    def test_unique_ids(self):
+        ids = [w.workload_id for w in ALL_WORKLOADS + MPI_WORKLOADS]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup(self):
+        assert workload("H-Read").stack == "HBase"
+        with pytest.raises(KeyError):
+            workload("W-Nothing")
+
+    def test_table2_order_and_counts(self):
+        expected_head = [
+            ("H-Read", 10), ("H-Difference", 9), ("I-SelectQuery", 9),
+            ("H-TPC-DS-query3", 9), ("S-WordCount", 8), ("I-OrderBy", 7),
+            ("H-Grep", 7),
+        ]
+        actual = [
+            (w.workload_id, w.represents) for w in REPRESENTATIVE_WORKLOADS[:7]
+        ]
+        assert actual == expected_head
+
+    def test_every_entry_has_dataset_from_table1(self):
+        from repro.datagen import DATASETS
+
+        for definition in ALL_WORKLOADS:
+            assert definition.dataset in DATASETS
+
+
+class TestWordCountFamily:
+    def test_all_stacks_agree_on_counts(self):
+        docs = wiki_documents(SCALE, seed=0)
+        reference = Counter()
+        for doc in docs:
+            reference.update(doc.split())
+
+        hadoop_counts = dict(hadoop_wordcount(scale=SCALE).output)
+        spark_counts = dict(spark_wordcount(scale=SCALE).output)
+        assert hadoop_counts == dict(reference)
+        assert spark_counts == dict(reference)
+
+        mpi_result = mpi_wordcount(scale=SCALE)
+        # Every rank returns the global distinct-word count.
+        assert set(mpi_result.output) == {len(reference)}
+
+    def test_profiles_show_stack_gradient(self):
+        hadoop = hadoop_wordcount(scale=SCALE)
+        mpi = mpi_wordcount(scale=SCALE)
+        hadoop_code = hadoop.profile.code.total_bytes
+        mpi_code = mpi.profile.code.total_bytes
+        # §5.4: Hadoop's instruction footprint is far larger than MPI's.
+        assert hadoop_code > 3 * mpi_code
+
+
+class TestGrepAndSort:
+    def test_grep_output_much_smaller_than_input(self):
+        result = hadoop_grep(scale=SCALE)
+        behavior = DataBehavior.from_meter(result.meter)
+        assert behavior.output in (DataRatio.MUCH_LESS, DataRatio.LESS)
+
+    def test_grep_match_count_matches_reference(self):
+        docs = wiki_documents(SCALE, seed=0)
+        expected = sum(GREP_PATTERN in doc for doc in docs)
+        result = hadoop_grep(scale=SCALE)
+        assert len(result.output) == expected
+
+    def test_sort_outputs_sorted(self):
+        result = hadoop_sort(scale=SCALE)
+        keys = [k for k, _v in result.output]
+        # Keys are sorted within each reduce partition.
+        assert len(keys) > 0
+        mpi_result = mpi_sort(scale=SCALE)
+        for rank_output in mpi_result.output:
+            assert rank_output == sorted(rank_output)
+
+    def test_mpi_sort_is_global_partition_sort(self):
+        result = mpi_sort(scale=SCALE)
+        flattened = [r for rank in result.output for r in rank]
+        # Concatenation of rank outputs is fully sorted (sample sort).
+        assert flattened == sorted(flattened)
+        # Nothing lost.
+        from repro.workloads.kernels import _sort_records
+
+        assert sorted(flattened) == sorted(_sort_records(SCALE, 0))
+
+
+class TestMlWorkloads:
+    def test_kmeans_produces_k_clusters(self):
+        result = spark_kmeans(scale=SCALE, k=4, iterations=3)
+        assert set(result.output) <= set(range(4))
+        assert len(set(result.output)) >= 2
+
+    def test_mpi_kmeans_assignment_shapes(self):
+        result = mpi_kmeans(scale=SCALE, k=4, iterations=3)
+        assert sum(len(r) for r in result.output) > 0
+
+    def test_pagerank_scores_positive_and_ordered(self):
+        result = spark_pagerank(scale=SCALE, iterations=4)
+        scores = [score for _node, score in result.output]
+        assert all(score > 0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_pagerank_output_larger_than_input(self):
+        result = spark_pagerank(scale=SCALE, iterations=4)
+        behavior = DataBehavior.from_meter(result.meter)
+        # Table 2: Output > Input for S-PageRank.
+        assert behavior.output in (DataRatio.GREATER, DataRatio.EQUAL)
+
+    def test_bayes_beats_chance(self):
+        result = hadoop_bayes(scale=1.0)
+        assert result.output["accuracy"] > 0.5  # 5 classes, chance = 0.2
+
+
+class TestRelationalWorkloads:
+    def test_difference_excludes_old_orders(self):
+        result = hive_difference(scale=SCALE)
+        tables = ecommerce_tables(SCALE, 0)
+        old_ids = {r["order_id"] for r in tables["old_orders"]}
+        assert all(row["order_id"] not in old_ids for row in result.output)
+
+    def test_tpcds_q3_grouped_and_ordered(self):
+        result = hive_tpcds_q3(scale=0.3)
+        totals = [row["sum_agg"] for row in result.output]
+        assert totals == sorted(totals, reverse=True)
+        assert len(result.output) <= 100
+
+
+class TestClassificationRules:
+    def test_cpu_intensive_rule(self):
+        assert (
+            classify_system_behavior(0.9, 0.0, 0.0)
+            is SystemBehavior.CPU_INTENSIVE
+        )
+
+    def test_io_intensive_by_weighted_io(self):
+        assert (
+            classify_system_behavior(0.3, 0.0, 12.0)
+            is SystemBehavior.IO_INTENSIVE
+        )
+
+    def test_io_intensive_by_iowait(self):
+        assert (
+            classify_system_behavior(0.5, 0.25, 0.0)
+            is SystemBehavior.IO_INTENSIVE
+        )
+
+    def test_iowait_needs_low_cpu(self):
+        # CPU 70% with high iowait is NOT I/O-intensive per the rule.
+        assert classify_system_behavior(0.7, 0.25, 0.0) is SystemBehavior.HYBRID
+
+    def test_hybrid_default(self):
+        assert classify_system_behavior(0.7, 0.1, 1.0) is SystemBehavior.HYBRID
+
+    def test_invalid_cpu(self):
+        with pytest.raises(ValueError):
+            classify_system_behavior(1.2, 0.0, 0.0)
+
+
+class TestDataRatioBuckets:
+    @pytest.mark.parametrize(
+        "ratio,expected",
+        [
+            (0.001, DataRatio.MUCH_LESS),
+            (0.5, DataRatio.LESS),
+            (1.0, DataRatio.EQUAL),
+            (1.09, DataRatio.EQUAL),
+            (1.2, DataRatio.GREATER),
+        ],
+    )
+    def test_bucketing(self, ratio, expected):
+        assert DataRatio.from_ratio(ratio) is expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DataRatio.from_ratio(-0.1)
+
+    def test_describe(self):
+        behavior = DataBehavior(DataRatio.MUCH_LESS, DataRatio.NONE)
+        assert behavior.describe() == "Output<<Input and no intermediate"

@@ -1,0 +1,59 @@
+"""Calibration harness: paper anchor numbers vs simulated measurements.
+
+Run after changing stack traits or uarch constants:
+    python tools/calibrate.py
+"""
+import importlib.util
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+spec = importlib.util.spec_from_file_location(
+    "kernels_direct", "src/repro/workloads/kernels.py"
+)
+kern = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(kern)
+
+from repro.uarch import characterize, XEON_E5645, ATOM_D510
+
+# (workload runner, {metric: paper target})
+ANCHORS = [
+    (kern.hadoop_wordcount, {"ipc": 1.1, "l1i_mpki": 7, "l2_mpki": 8.4, "l3_mpki": 1.9}),
+    (kern.spark_wordcount, {"ipc": 0.9, "l1i_mpki": 17, "l2_mpki": 16, "l3_mpki": 2.7}),
+    (kern.mpi_wordcount, {"ipc": 1.8, "l1i_mpki": 2, "l2_mpki": 0.8, "l3_mpki": 0.1}),
+    (kern.hadoop_grep, {"ipc": 1.3, "l1i_mpki": 10, "l2_mpki": 8, "l3_mpki": 1.5}),
+    (kern.spark_sort, {"ipc": 1.1, "l1i_mpki": 14, "l2_mpki": 12, "l3_mpki": 1.5}),
+    (kern.mpi_sort, {"ipc": 1.5, "l1i_mpki": 3, "l2_mpki": 4, "l3_mpki": 0.5}),
+]
+
+def main():
+    rows = []
+    for fn, targets in ANCHORS:
+        res = fn(scale=0.5)
+        pc = characterize(res.profile, XEON_E5645)
+        d = pc.metric_dict()
+        atom = characterize(res.profile, ATOM_D510)
+        row = {"name": res.name}
+        for metric, target in targets.items():
+            row[metric] = (target, d[metric])
+        row["mispred"] = (0.028, d["branch_mispred_ratio"])
+        row["mispred_atom"] = (0.078, atom.metric_dict()["branch_mispred_ratio"])
+        row["branch"] = (0.187, d["ratio_branch"])
+        row["int"] = (0.38, d["ratio_integer"])
+        row["dtlb"] = (0.9, d["dtlb_mpki"])
+        row["itlb"] = (0.05, d["itlb_mpki"])
+        rows.append(row)
+    for row in rows:
+        print(f"\n{row['name']}")
+        for metric, pair in row.items():
+            if metric == "name":
+                continue
+            target, measured = pair
+            flag = "  " if 0.5 * target <= measured <= 2.0 * target else "<<" if measured < target else ">>"
+            print(f"  {metric:14s} target={target:8.3f} measured={measured:8.3f} {flag}")
+
+if __name__ == "__main__":
+    t0 = time.time()
+    main()
+    print(f"\ntotal {time.time()-t0:.1f}s")

@@ -1,0 +1,56 @@
+"""Regenerate every table and figure in one session.
+
+    python tools/run_experiments.py [scale] > results.txt
+
+This is the script that produced the numbers in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.experiments import (  # noqa: E402
+    ExperimentContext,
+    fig1_instruction_mix,
+    fig2_integer_breakdown,
+    fig3_ipc,
+    fig4_cache,
+    fig5_tlb,
+    fig6to9_locality,
+    stack_impact,
+    system_behaviors,
+    table1_datasets,
+    table2_reduction,
+    table4_branch,
+)
+
+EXPERIMENTS = (
+    ("Table 1", table1_datasets.run, False),
+    ("Figure 1", fig1_instruction_mix.run, True),
+    ("Figure 2", fig2_integer_breakdown.run, True),
+    ("Figure 3", fig3_ipc.run, True),
+    ("Figure 4", fig4_cache.run, True),
+    ("Figure 5", fig5_tlb.run, True),
+    ("Figures 6-9", fig6to9_locality.run, True),
+    ("Section 5.5", stack_impact.run, True),
+    ("Table 4", table4_branch.run, True),
+    ("Section 3.2", system_behaviors.run, True),
+    ("Table 2", table2_reduction.run, True),
+)
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    context = ExperimentContext(scale=scale)
+    start = time.time()
+    for title, runner, needs_context in EXPERIMENTS:
+        print(f"\n{'=' * 88}\n{title}  [t+{time.time() - start:.0f}s]\n{'=' * 88}")
+        result = runner(context) if needs_context else runner()
+        print(result.render())
+    print(f"\ncompleted in {time.time() - start:.0f}s at scale {scale}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
