@@ -1,0 +1,23 @@
+"""Fault resilience: Hadoop vs Spark vs MPI under one seeded node crash.
+
+Hadoop and Spark re-execute the dead node's tasks (retries, speculative
+duplicates, inflated makespan, wasted work); MPI aborts the whole job —
+the operational complement to the §5.5 thin-stack efficiency result.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fault_resilience
+
+
+def test_fault_resilience(benchmark, ctx):
+    result = run_once(benchmark, fault_resilience.run, ctx)
+    print()
+    print(result.render())
+    for stack in ("Hadoop", "Spark"):
+        entry = result.by_stack(stack)
+        assert entry.outcome == "recovered"
+        assert entry.faulty.tasks_retried > 0
+        assert entry.faulty.makespan_inflation > 1.0
+        assert 0.0 < entry.faulty.wasted_work_ratio < 1.0
+    assert result.by_stack("MPI").outcome == "job failed"

@@ -9,6 +9,7 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro table 1|2|4              # regenerate a table
     python -m repro stacks                   # the §5.5 stack study
     python -m repro system                   # §3.2 classification
+    python -m repro faults [--seed 7]        # stack fault resilience
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import sys
 
 from repro.experiments import (
     ExperimentContext,
+    fault_resilience,
     fig1_instruction_mix,
     fig2_integer_breakdown,
     fig3_ipc,
@@ -121,6 +123,12 @@ def _cmd_system(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    print(fault_resilience.run(context).render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -149,6 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("stacks", help="the §5.5 software-stack study")
     commands.add_parser("system", help="§3.2 system-behaviour classification")
+
+    faults_parser = commands.add_parser(
+        "faults",
+        help="fault resilience: Hadoop vs Spark vs MPI under a node crash",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed (same seed, same faults, same metrics)",
+    )
     return parser
 
 
@@ -160,6 +177,7 @@ _HANDLERS = {
     "table": _cmd_table,
     "stacks": _cmd_stacks,
     "system": _cmd_system,
+    "faults": _cmd_faults,
 }
 
 

@@ -7,11 +7,24 @@ time and I/O bandwidth — the inputs to the paper's §3.2.1 system-
 behaviour classification.
 """
 
-from repro.cluster.events import Simulation, Process, Timeout, Resource
+from repro.cluster.events import (
+    Interrupted,
+    Process,
+    Resource,
+    Simulation,
+    Timeout,
+)
 from repro.cluster.disk import Disk
 from repro.cluster.network import Nic, Network
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import (
+    DiskDegrade,
+    FaultInjector,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
 from repro.cluster.filesystem import DistributedFileSystem, FileHandle
 
 __all__ = [
@@ -19,12 +32,18 @@ __all__ = [
     "Process",
     "Timeout",
     "Resource",
+    "Interrupted",
     "Disk",
     "Nic",
     "Network",
     "Node",
     "NodeSpec",
     "Cluster",
+    "FaultPlan",
+    "FaultInjector",
+    "NodeCrash",
+    "DiskDegrade",
+    "NetworkPartition",
     "DistributedFileSystem",
     "FileHandle",
 ]

@@ -12,7 +12,21 @@ from repro.cluster.node import Node, NodeSpec
 
 @dataclass
 class SystemMetrics:
-    """The §3.2.1 system-behaviour measurements for one workload run."""
+    """The §3.2.1 system-behaviour measurements for one workload run.
+
+    The recovery fields are filled by the fault-tolerant scheduler and
+    stay at their defaults for fault-free runs, so fault tolerance never
+    perturbs the paper's characterization baseline:
+
+    - ``tasks_retried``: attempts re-executed after a failure.
+    - ``speculative_launches`` / ``speculative_wins``: duplicate
+      attempts launched against stragglers, and how many finished first.
+    - ``wasted_work_ratio``: share of attempt wall-time spent in
+      attempts that were killed, lost a speculation race, or failed.
+    - ``makespan_inflation``: elapsed versus the fault-free elapsed for
+      the same job (filled by experiments that run both).
+    - ``faults_injected``: infrastructure faults the plan delivered.
+    """
 
     elapsed: float
     cpu_utilization: float
@@ -20,6 +34,12 @@ class SystemMetrics:
     weighted_io_time_ratio: float
     disk_bandwidth_mbps: float
     network_bandwidth_mbps: float
+    tasks_retried: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    wasted_work_ratio: float = 0.0
+    makespan_inflation: float = 1.0
+    faults_injected: int = 0
 
 
 class Cluster:

@@ -10,7 +10,7 @@ request accumulates queue-weighted time.
 
 from __future__ import annotations
 
-from repro.cluster.events import Event, Resource, Simulation
+from repro.cluster.events import Event, Interrupted, Resource, Simulation
 
 
 class Disk:
@@ -62,17 +62,34 @@ class Disk:
         self._inflight += 1
         self.requests += 1
         grant = self._channel.request()
-        yield grant
         try:
-            yield self.sim.timeout(self._transfer_time(nbytes, sequential))
+            yield grant
+        except Interrupted:
+            # Killed while queued for the channel: withdraw the request.
+            self._channel.cancel(grant)
+            self._account()
+            self._inflight -= 1
+            raise
+        duration = self._transfer_time(nbytes, sequential)
+        started = self.sim.now
+        done = 0
+        try:
+            yield self.sim.timeout(duration)
+            done = nbytes
+        except Interrupted:
+            # Transfer cut short (node crash): credit the bytes that
+            # actually crossed the channel before the kill.
+            if duration > 0:
+                done = int(nbytes * (self.sim.now - started) / duration)
+            raise
         finally:
             self._channel.release()
             self._account()
             self._inflight -= 1
             if is_write:
-                self.bytes_written += nbytes
+                self.bytes_written += done
             else:
-                self.bytes_read += nbytes
+                self.bytes_read += done
 
     def read(self, nbytes: int, sequential: bool = True) -> Event:
         """Process event for reading ``nbytes`` from this disk."""

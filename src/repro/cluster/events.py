@@ -13,7 +13,22 @@ depending on nothing external keeps the substrate auditable.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generator, List, Optional
+from collections import deque
+from typing import Callable, Deque, Generator, List, Optional
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    ``cause`` describes why the process was killed (a node crash, a
+    speculative duplicate winning the race, ...).  Processes that hold
+    resources should release them in ``try/finally`` blocks — the
+    interrupt unwinds through them like any exception.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
 
 
 class Event:
@@ -67,20 +82,66 @@ class Process(Event):
     def __init__(self, sim: "Simulation", generator: Generator):
         super().__init__(sim)
         self._generator = generator
+        self.interrupted = False
+        self.interrupt_cause = None
+        self._target: Optional[Event] = None
+        self._wait_token: Optional[object] = None
         # Kick off on the next simulation step.
         sim._schedule(0.0, _Resume(self, None), None)
 
-    def _step(self, send_value) -> None:
+    def _step(self, send_value, throw: Optional[BaseException] = None) -> None:
+        if self.triggered:
+            return
+        self._target = None
+        self._wait_token = None
         try:
-            target = self._generator.send(send_value)
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send_value)
         except StopIteration as stop:
             self.trigger(stop.value)
+            return
+        except Interrupted as exc:
+            # The interrupt unwound the generator; the process completes
+            # with the exception as its value so waiters (all_of gates,
+            # supervising processes) still drain.
+            self.interrupted = True
+            self.interrupt_cause = exc.cause
+            self.trigger(exc)
             return
         if not isinstance(target, Event):
             raise TypeError(
                 f"process yielded {target!r}; processes must yield Events"
             )
-        target.add_callback(lambda event: self._step(event.value))
+        self._target = target
+        token = self._wait_token = object()
+
+        def resume(event: Event, _token=token) -> None:
+            # Stale wakeup from an event this process abandoned when it
+            # was interrupted (or re-yielded after catching Interrupted).
+            if self._wait_token is _token:
+                self._step(event.value)
+
+        target.add_callback(resume)
+
+    def interrupt(self, cause=None) -> bool:
+        """Kill the process mid-yield by throwing :class:`Interrupted`.
+
+        The exception unwinds the generator (running its ``finally``
+        blocks, so held resources are released) and, if it propagates
+        out, cascades into any child :class:`Process` this one was
+        waiting on — an in-flight compute or disk transfer dies with the
+        task that issued it.  Returns False if the process had already
+        finished.
+        """
+        if self.triggered:
+            return False
+        target = self._target
+        self._step(None, throw=Interrupted(cause))
+        if self.interrupted and isinstance(target, Process):
+            target.interrupt(cause)
+        return True
 
 
 class _Resume:
@@ -111,11 +172,21 @@ class Simulation:
         """Register a generator as a running process."""
         return Process(self, generator)
 
-    def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains (or simulated time passes ``until``).
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_event: Optional[Event] = None,
+    ) -> float:
+        """Run until the queue drains (or simulated time passes ``until``,
+        or ``until_event`` triggers).
 
-        Returns the final simulation time.
+        ``until_event`` lets a caller stop at a completion gate without
+        draining stale bookkeeping events (heartbeat monitors, pending
+        fault injections) scheduled beyond it.  Returns the final
+        simulation time.
         """
+        if until_event is not None and until_event.triggered:
+            return self.now
         while self._queue:
             time, _, item, value = self._queue[0]
             if until is not None and time > until:
@@ -129,6 +200,8 @@ class Simulation:
                 item.trigger(value)
             else:  # pragma: no cover - queue only holds the above
                 raise TypeError(f"unexpected queue item {item!r}")
+            if until_event is not None and until_event.triggered:
+                return self.now
         return self.now
 
     def all_of(self, events: List[Event]) -> Event:
@@ -169,7 +242,7 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiting: List[Event] = []
+        self._waiting: Deque[Event] = deque()
         # Accounting for utilization metrics.
         self._busy_integral = 0.0
         self._queue_integral = 0.0
@@ -198,10 +271,26 @@ class Resource:
         if self.in_use <= 0:
             raise RuntimeError(f"{self.name}: release without request")
         if self._waiting:
-            grant = self._waiting.pop(0)
+            grant = self._waiting.popleft()
             self.sim._schedule(0.0, grant, None)
         else:
             self.in_use -= 1
+
+    def cancel(self, grant: Event) -> None:
+        """Withdraw a request made with :meth:`request`.
+
+        A still-queued waiter is removed from the FIFO (so an
+        interrupted task does not leak a phantom waiter into
+        ``queue_time()`` accounting); a request that was already granted
+        is treated as a release.
+        """
+        self._account()
+        try:
+            self._waiting.remove(grant)
+            return
+        except ValueError:
+            pass
+        self.release()
 
     def busy_time(self) -> float:
         """Capacity-unit-seconds of busy time so far."""

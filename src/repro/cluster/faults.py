@@ -1,0 +1,287 @@
+"""Deterministic fault injection for the discrete-event cluster.
+
+A :class:`FaultPlan` is a seeded, immutable script of infrastructure
+faults — node crashes (with optional recovery), degraded disks that turn
+a node into a straggler, and transient network partitions.  A
+:class:`FaultInjector` replays the plan against one cluster simulation:
+at each fault's time it marks nodes down, kills the task attempts
+registered on them (throwing :class:`~repro.cluster.events.Interrupted`
+into their processes), scales disk bandwidth, and notifies subscribers.
+
+The injector models *ground truth*: which nodes are actually dead.  The
+scheduler keeps its own heartbeat-lagged view on top (see
+``repro.stacks.scheduler``), which is how Hadoop-style failure detection
+latency arises.  All fault times are relative to
+:meth:`FaultInjector.install`, i.e. to job start.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.events import Process
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` dies at ``at``; optionally rejoins at ``recover_at``."""
+
+    node: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("crash time must be non-negative")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ValueError("recovery must come after the crash")
+
+
+@dataclass(frozen=True)
+class DiskDegrade:
+    """Node ``node``'s disk slows by ``factor``x over [at, until).
+
+    The degraded node keeps running — it just becomes a straggler, the
+    case speculative execution exists for.  ``until=None`` degrades for
+    the rest of the run.
+    """
+
+    node: int
+    at: float
+    factor: float
+    until: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("degrade time must be non-negative")
+        if self.factor <= 1.0:
+            raise ValueError("degrade factor must exceed 1")
+        if self.until is not None and self.until <= self.at:
+            raise ValueError("degrade window must have positive length")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """``nodes`` are unreachable over [at, until).
+
+    Partitioned nodes stop heartbeating and their in-flight work is
+    fenced (killed and re-executed elsewhere), which is how MapReduce
+    treats a task tracker it can no longer reach; when the window closes
+    the nodes rejoin.
+    """
+
+    nodes: Tuple[int, ...]
+    at: float
+    until: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("partition time must be non-negative")
+        if self.until <= self.at:
+            raise ValueError("partition window must have positive length")
+        if not self.nodes:
+            raise ValueError("partition needs at least one node")
+
+
+Fault = object  # NodeCrash | DiskDegrade | NetworkPartition
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, reproducible script of faults for one job run.
+
+    The same plan replayed against the same job yields bit-identical
+    simulations — randomness only enters through the seed used to
+    *construct* a plan, never during replay.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: Optional[int] = None
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan: scheduling must be bit-identical to a
+        run without fault tolerance at all."""
+        return cls()
+
+    @classmethod
+    def single_crash(
+        cls, node: int = 1, at: float = 1.0, recover_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """The canonical experiment: one node dies mid-job."""
+        return cls(faults=(NodeCrash(node=node, at=at, recover_at=recover_at),))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_nodes: int = 5,
+        horizon: float = 1.0,
+        crashes: int = 1,
+        degraded_disks: int = 0,
+        partitions: int = 0,
+        degrade_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan from ``seed``.
+
+        ``horizon`` is the window (in simulated seconds from job start)
+        within which faults strike — pass an estimate of the fault-free
+        makespan so faults land while work is in flight.  Victim nodes
+        are distinct across fault kinds so one plan exercises each
+        mechanism independently.
+        """
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        rng = random.Random(seed)
+        victims = list(range(n_nodes))
+        rng.shuffle(victims)
+        faults: List[Fault] = []
+        for _ in range(crashes):
+            if not victims:
+                break
+            faults.append(
+                NodeCrash(
+                    node=victims.pop(),
+                    at=rng.uniform(0.2, 0.6) * horizon,
+                )
+            )
+        for _ in range(degraded_disks):
+            if not victims:
+                break
+            at = rng.uniform(0.1, 0.4) * horizon
+            faults.append(
+                DiskDegrade(
+                    node=victims.pop(),
+                    at=at,
+                    factor=degrade_factor,
+                    until=at + rng.uniform(0.5, 1.0) * horizon,
+                )
+            )
+        for _ in range(partitions):
+            if not victims:
+                break
+            at = rng.uniform(0.2, 0.5) * horizon
+            faults.append(
+                NetworkPartition(
+                    nodes=(victims.pop(),),
+                    at=at,
+                    until=at + rng.uniform(0.2, 0.5) * horizon,
+                )
+            )
+        return cls(faults=tuple(faults), seed=seed)
+
+
+class FaultInjector:
+    """Replays a :class:`FaultPlan` against one cluster simulation.
+
+    The scheduler registers every running task attempt with the node it
+    occupies; when that node goes down the injector interrupts the
+    attempt processes, and ``on_down``/``on_up`` subscribers (failure
+    detectors, abort policies) are notified at the instant of the fault.
+    """
+
+    def __init__(self, cluster, plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+        self.down: Set[int] = set()
+        self.degraded: Set[int] = set()
+        self.faults_injected = 0
+        self._attempts: Dict[int, List[Process]] = {}
+        self._down_callbacks: List[Callable[[int, str], None]] = []
+        self._up_callbacks: List[Callable[[int], None]] = []
+        self._installed = False
+
+    # ---- scheduler-facing API -------------------------------------------
+    def is_down(self, node_index: int) -> bool:
+        return node_index in self.down
+
+    def on_down(self, callback: Callable[[int, str], None]) -> None:
+        """``callback(node_index, cause)`` fires the instant a node dies."""
+        self._down_callbacks.append(callback)
+
+    def on_up(self, callback: Callable[[int], None]) -> None:
+        self._up_callbacks.append(callback)
+
+    def register_attempt(self, node_index: int, process: Process) -> None:
+        """Track a task attempt running on ``node_index``.
+
+        An attempt launched on an already-dead node is killed on the
+        spot — it was assigned to a tracker that will never report.
+        """
+        self._attempts.setdefault(node_index, []).append(process)
+        if node_index in self.down:
+            process.interrupt(f"node{node_index} is down")
+
+    def unregister_attempt(self, node_index: int, process: Process) -> None:
+        attempts = self._attempts.get(node_index)
+        if attempts and process in attempts:
+            attempts.remove(process)
+
+    # ---- plan replay -----------------------------------------------------
+    def install(self) -> None:
+        """Spawn one driver process per fault in the plan."""
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        sim = self.cluster.sim
+        for fault in self.plan.faults:
+            if isinstance(fault, NodeCrash):
+                sim.process(self._run_crash(fault))
+            elif isinstance(fault, DiskDegrade):
+                sim.process(self._run_degrade(fault))
+            elif isinstance(fault, NetworkPartition):
+                sim.process(self._run_partition(fault))
+            else:  # pragma: no cover - plan construction validates kinds
+                raise TypeError(f"unknown fault {fault!r}")
+
+    def _run_crash(self, fault: NodeCrash):
+        yield self.cluster.sim.timeout(fault.at)
+        self._take_down(fault.node, cause=f"node{fault.node} crashed")
+        if fault.recover_at is not None:
+            yield self.cluster.sim.timeout(fault.recover_at - fault.at)
+            self._bring_up(fault.node)
+
+    def _run_degrade(self, fault: DiskDegrade):
+        disk = self.cluster.node(fault.node).disk
+        yield self.cluster.sim.timeout(fault.at)
+        self.faults_injected += 1
+        self.degraded.add(fault.node)
+        disk.bandwidth_bps /= fault.factor
+        if fault.until is not None:
+            yield self.cluster.sim.timeout(fault.until - fault.at)
+            disk.bandwidth_bps *= fault.factor
+            self.degraded.discard(fault.node)
+
+    def _run_partition(self, fault: NetworkPartition):
+        yield self.cluster.sim.timeout(fault.at)
+        for node in fault.nodes:
+            self._take_down(node, cause=f"node{node} partitioned")
+        yield self.cluster.sim.timeout(fault.until - fault.at)
+        for node in fault.nodes:
+            self._bring_up(node)
+
+    def _take_down(self, node_index: int, cause: str) -> None:
+        if node_index in self.down:
+            return
+        self.down.add(node_index)
+        self.faults_injected += 1
+        for callback in list(self._down_callbacks):
+            callback(node_index, cause)
+        # Kill over a copy: interrupted supervisors unregister reentrantly.
+        for process in list(self._attempts.get(node_index, ())):
+            process.interrupt(cause)
+
+    def _bring_up(self, node_index: int) -> None:
+        if node_index not in self.down:
+            return
+        self.down.discard(node_index)
+        for callback in list(self._up_callbacks):
+            callback(node_index)

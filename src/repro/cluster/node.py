@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.disk import Disk
-from repro.cluster.events import Event, Resource, Simulation
+from repro.cluster.events import Event, Interrupted, Resource, Simulation
 from repro.cluster.network import Nic
 
 
@@ -53,10 +53,20 @@ class Node:
 
         def run():
             grant = self.cores.request()
-            yield grant
+            try:
+                yield grant
+            except Interrupted:
+                # Never got (or just got) the core; withdraw cleanly.
+                self.cores.cancel(grant)
+                raise
+            started = self.sim.now
             try:
                 yield self.sim.timeout(seconds)
                 self.cpu_time += seconds
+            except Interrupted:
+                # Credit the cycles actually burned before the kill.
+                self.cpu_time += self.sim.now - started
+                raise
             finally:
                 self.cores.release()
 
@@ -67,8 +77,10 @@ class Node:
 
         def run():
             start = self.sim.now
-            yield self.disk.read(nbytes, sequential=sequential)
-            self.io_block_time += self.sim.now - start
+            try:
+                yield self.disk.read(nbytes, sequential=sequential)
+            finally:
+                self.io_block_time += self.sim.now - start
 
         return self.sim.process(run())
 
@@ -77,8 +89,10 @@ class Node:
 
         def run():
             start = self.sim.now
-            yield self.disk.write(nbytes, sequential=sequential)
-            self.io_block_time += self.sim.now - start
+            try:
+                yield self.disk.write(nbytes, sequential=sequential)
+            finally:
+                self.io_block_time += self.sim.now - start
 
         return self.sim.process(run())
 

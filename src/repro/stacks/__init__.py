@@ -28,6 +28,13 @@ from repro.stacks.spark import Spark, Rdd
 from repro.stacks.mpi import MpiRuntime, MpiCommunicator
 from repro.stacks.sql import HiveEngine, SharkEngine, ImpalaEngine, Query
 from repro.stacks.hbase import HBase
+from repro.stacks.scheduler import (
+    JobFailedError,
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 __all__ = [
     "Meter",
@@ -52,4 +59,9 @@ __all__ = [
     "ImpalaEngine",
     "Query",
     "HBase",
+    "JobFailedError",
+    "RecoveryPolicy",
+    "TaskDescriptor",
+    "policy_for",
+    "run_waves",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.cluster.filesystem import DistributedFileSystem
 from repro.stacks.base import (
     HADOOP_TRAITS,
@@ -25,7 +26,12 @@ from repro.stacks.base import (
     WorkloadResult,
     build_profile,
 )
-from repro.stacks.scheduler import TaskDescriptor, run_waves
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 #: (key, value) pair type emitted by mappers and reducers.
 Pair = Tuple[object, object]
@@ -93,12 +99,17 @@ class Hadoop(SoftwareStack):
         records: Sequence[object],
         cluster: Optional[Cluster] = None,
         dfs: "DistributedFileSystem" = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> WorkloadResult:
         """Execute ``job`` over ``records``.
 
         Returns the functional output (list of reducer-emitted pairs),
         the behaviour profile, and — when a cluster is supplied — the
-        simulated system metrics.
+        simulated system metrics.  ``faults`` injects an infrastructure
+        fault plan into the cluster simulation; lost tasks are
+        re-executed under ``recovery`` (Hadoop's JobTracker policy by
+        default: retries with backoff plus speculative execution).
         """
         if not records:
             raise ValueError(f"{job.name}: no input records")
@@ -199,7 +210,8 @@ class Hadoop(SoftwareStack):
         elapsed = None
         if cluster is not None:
             system, elapsed = self._simulate(
-                job, map_task_stats, reduce_task_stats, cluster, dfs
+                job, map_task_stats, reduce_task_stats, cluster, dfs,
+                faults=faults, recovery=recovery,
             )
 
         return WorkloadResult(
@@ -310,6 +322,8 @@ class Hadoop(SoftwareStack):
         reduce_stats: List[dict],
         cluster: Cluster,
         dfs: "DistributedFileSystem" = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> tuple:
         """Schedule equivalent task waves on the cluster.
 
@@ -377,5 +391,10 @@ class Hadoop(SoftwareStack):
             )
             for i, stats in enumerate(reduce_stats)
         ]
-        metrics = run_waves(cluster, [map_wave, reduce_wave], rate)
+        if recovery is None:
+            recovery = policy_for("Hadoop")
+        metrics = run_waves(
+            cluster, [map_wave, reduce_wave], rate,
+            faults=faults, policy=recovery,
+        )
         return metrics, cluster.sim.now - start

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.stacks.base import (
     HBASE_TRAITS,
     KernelTraits,
@@ -26,7 +27,12 @@ from repro.stacks.base import (
     WorkloadResult,
     build_profile,
 )
-from repro.stacks.scheduler import TaskDescriptor, run_waves
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 
 class _BloomFilter:
@@ -156,9 +162,16 @@ class HBase(SoftwareStack):
         name: str,
         keys: Sequence[int],
         cluster: Optional[Cluster] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> WorkloadResult:
         """Issue ``keys`` as client gets; every request crosses the RPC
-        and region-server layers (heavy dispatch per record)."""
+        and region-server layers (heavy dispatch per record).
+
+        Under a ``faults`` plan, requests to a dead region server are
+        retried after the master reassigns the region (the default
+        ``recovery`` is HBase's quick-redetect/retry policy).
+        """
         meter = Meter()
         hits = 0
         for key in keys:
@@ -218,7 +231,11 @@ class HBase(SoftwareStack):
                 )
                 for t in range(n_tasks)
             ]
-            system = run_waves(cluster, [wave], rate)
+            if recovery is None:
+                recovery = policy_for("HBase")
+            system = run_waves(
+                cluster, [wave], rate, faults=faults, policy=recovery
+            )
             elapsed = cluster.sim.now - start
         return WorkloadResult(
             name=name,

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.stacks.base import (
     MPI_TRAITS,
     KernelTraits,
@@ -27,7 +28,12 @@ from repro.stacks.base import (
     WorkloadResult,
     build_profile,
 )
-from repro.stacks.scheduler import TaskDescriptor, run_waves
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 
 @dataclass
@@ -96,12 +102,20 @@ class MpiRuntime(SoftwareStack):
         state_fraction: float = 0.03,
         stream_fraction: float = 0.01,
         cluster: Optional[Cluster] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> WorkloadResult:
         """Execute ``program(rank, comm, data, meter)`` on every rank.
 
         ``partitions`` supplies each rank's local data (padded with empty
         lists when shorter than the rank count).  Returns per-rank return
         values as the functional output.
+
+        MPI has no task-level fault tolerance: under a ``faults`` plan
+        that kills a node, the default ``recovery`` policy aborts the
+        whole job with :class:`~repro.stacks.scheduler.JobFailedError` —
+        the contrast with Hadoop/Spark the paper's stack comparison
+        turns on.
         """
         padded: List[list] = [
             list(partitions[r]) if r < len(partitions) else []
@@ -175,7 +189,8 @@ class MpiRuntime(SoftwareStack):
         elapsed = None
         if cluster is not None:
             system, elapsed = self._simulate(
-                merged, supersteps, net_bytes_total, cluster
+                merged, supersteps, net_bytes_total, cluster,
+                faults=faults, recovery=recovery,
             )
 
         return WorkloadResult(
@@ -238,6 +253,8 @@ class MpiRuntime(SoftwareStack):
         supersteps: int,
         net_bytes: int,
         cluster: Cluster,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> tuple:
         rate = self.traits.instruction_rate
         start = cluster.sim.now
@@ -264,5 +281,9 @@ class MpiRuntime(SoftwareStack):
                     for rank in range(self.n_ranks)
                 ]
             )
-        metrics = run_waves(cluster, waves, rate)
+        if recovery is None:
+            recovery = policy_for("MPI")
+        metrics = run_waves(
+            cluster, waves, rate, faults=faults, policy=recovery
+        )
         return metrics, cluster.sim.now - start

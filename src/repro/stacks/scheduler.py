@@ -1,18 +1,38 @@
-"""Task scheduling onto the discrete-event cluster.
+"""Fault-tolerant task scheduling onto the discrete-event cluster.
 
 Every stack engine reduces its execution to a set of
 :class:`TaskDescriptor` waves (map wave then reduce wave, stages, BSP
 supersteps, request batches); this module places those tasks onto
 cluster nodes and runs the event simulation, producing the §3.2.1
 system-behaviour metrics.
+
+On top of the placement loop sits the fault-tolerance machinery the
+paper's deep-software-stack result (§4) rests on: per-task attempt
+tracking, heartbeat-lagged failure detection, retry with capped
+exponential backoff onto surviving nodes, and speculative re-execution
+of stragglers.  Each stack reacts with its own
+:class:`RecoveryPolicy` — Hadoop and Spark re-execute lost tasks while
+MPI aborts the whole job on any node loss, exactly the asymmetry the
+paper's Hadoop-vs-MPI comparison highlights.
+
+With no fault plan (or an empty one) the scheduler takes a pass-through
+path that is event-for-event identical to plain wave execution, so the
+characterization baseline is never perturbed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from statistics import median
 from typing import List, Optional
 
 from repro.cluster.cluster import Cluster, SystemMetrics
+from repro.cluster.events import Event, Interrupted, Process
+from repro.cluster.faults import FaultInjector, FaultPlan
+
+
+class JobFailedError(RuntimeError):
+    """The recovery policy gave up (or forbids recovery altogether)."""
 
 
 @dataclass(frozen=True)
@@ -44,56 +64,424 @@ class TaskDescriptor:
                 raise ValueError(f"{name} must be non-negative")
 
 
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a software stack reacts to task and node failure.
+
+    Attributes:
+        max_attempts: Attempts per task before the job fails (Hadoop's
+            ``mapred.map.max.attempts``, Spark's ``task.maxFailures``).
+        heartbeat_interval: Cadence of the speculation monitor's scan.
+        heartbeat_timeout: Failure-detection latency — the scheduler
+            only learns a node died this long after it stopped
+            heartbeating, so retries launch no earlier.
+        retry_backoff / backoff_factor / max_backoff: Capped exponential
+            delay added on each successive retry of the same task.
+        speculation: Launch a duplicate of a straggling task once it
+            exceeds ``slowdown_threshold`` x the wave's median runtime;
+            the first finisher wins and the loser is killed.
+        abort_on_node_loss: Fail the whole job the instant any node is
+            lost (the MPI/Impala behaviour: no task-level recovery).
+    """
+
+    max_attempts: int = 4
+    heartbeat_interval: float = 3.0
+    heartbeat_timeout: float = 30.0
+    retry_backoff: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 60.0
+    speculation: bool = False
+    slowdown_threshold: float = 1.5
+    abort_on_node_loss: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout < 0:
+            raise ValueError("heartbeat parameters must be positive")
+        if self.slowdown_threshold <= 1.0:
+            raise ValueError("slowdown_threshold must exceed 1")
+
+    def scaled(self, time_unit: float) -> "RecoveryPolicy":
+        """A copy with every time constant multiplied by ``time_unit``.
+
+        The defaults suit jobs lasting minutes; scaled-down simulations
+        (makespans of milliseconds) shrink the detector and backoff
+        clocks proportionally so recovery dynamics stay in proportion
+        to the job, the way real deployments tune their timeouts.
+        """
+        if time_unit <= 0:
+            raise ValueError("time_unit must be positive")
+        return replace(
+            self,
+            heartbeat_interval=self.heartbeat_interval * time_unit,
+            heartbeat_timeout=self.heartbeat_timeout * time_unit,
+            retry_backoff=self.retry_backoff * time_unit,
+            max_backoff=self.max_backoff * time_unit,
+        )
+
+
+#: Task re-execution with speculative duplicates: the JobTracker model.
+HADOOP_POLICY = RecoveryPolicy(
+    max_attempts=4,
+    heartbeat_interval=3.0,
+    heartbeat_timeout=30.0,
+    retry_backoff=1.0,
+    speculation=True,
+)
+#: Lineage-based re-execution; faster detection, same task-level retry.
+SPARK_POLICY = RecoveryPolicy(
+    max_attempts=4,
+    heartbeat_interval=1.0,
+    heartbeat_timeout=10.0,
+    retry_backoff=0.5,
+    speculation=True,
+)
+#: No fault tolerance in the runtime: any rank loss kills the job.
+MPI_POLICY = RecoveryPolicy(max_attempts=1, abort_on_node_loss=True)
+#: Impala cancels the query when an executor disappears.
+IMPALA_POLICY = RecoveryPolicy(max_attempts=1, abort_on_node_loss=True)
+#: Region reassignment: quick redetection, a few retries, no speculation.
+HBASE_POLICY = RecoveryPolicy(
+    max_attempts=3,
+    heartbeat_interval=1.0,
+    heartbeat_timeout=5.0,
+    retry_backoff=0.2,
+)
+
+_STACK_POLICIES = {
+    "Hadoop": HADOOP_POLICY,
+    "Spark": SPARK_POLICY,
+    "MPI": MPI_POLICY,
+    "Hive": HADOOP_POLICY,  # rides Hadoop's JobTracker recovery
+    "Shark": SPARK_POLICY,  # rides Spark's lineage recovery
+    "Impala": IMPALA_POLICY,
+    "HBase": HBASE_POLICY,
+}
+
+
+def policy_for(stack_name: str) -> RecoveryPolicy:
+    """The recovery policy a named stack ships with."""
+    return _STACK_POLICIES.get(stack_name, RecoveryPolicy())
+
+
+@dataclass
+class _TaskState:
+    """Book-keeping for one logical task across its attempts."""
+
+    index: int
+    task: TaskDescriptor
+    node: int
+    done: bool = False
+    attempts: int = 0
+    first_launch: float = 0.0
+    runtime: Optional[float] = None
+    speculated: bool = False
+    supervisor: Optional[Process] = None
+    primary: Optional[Process] = None
+    speculative: Optional[Process] = None
+
+
+@dataclass
+class _RecoveryStats:
+    tasks_retried: int = 0
+    speculative_launches: int = 0
+    speculative_wins: int = 0
+    wasted_seconds: float = 0.0
+    useful_seconds: float = 0.0
+
+    @property
+    def wasted_work_ratio(self) -> float:
+        total = self.wasted_seconds + self.useful_seconds
+        return self.wasted_seconds / total if total > 0 else 0.0
+
+
+class _WaveScheduler:
+    """Runs task waves with per-task supervision under one policy."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        instruction_rate: float,
+        io_chunk_bytes: int,
+        faults: Optional[FaultPlan],
+        policy: RecoveryPolicy,
+    ):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.n_nodes = len(cluster)
+        self.instruction_rate = instruction_rate
+        self.io_chunk_bytes = io_chunk_bytes
+        self.policy = policy
+        self.stats = _RecoveryStats()
+        self.detected_down: set = set()
+        self.injector: Optional[FaultInjector] = None
+        if faults is not None and not faults.is_empty:
+            self.injector = FaultInjector(cluster, faults)
+            self.injector.on_down(self._on_node_down)
+            self.injector.on_up(self._on_node_up)
+            self.injector.install()
+        self._next_node = 0
+
+    # ---- failure detection ----------------------------------------------
+    def _on_node_down(self, node_index: int, cause: str) -> None:
+        if self.policy.abort_on_node_loss:
+            raise JobFailedError(
+                f"{cause}: the runtime aborts the whole job on node loss"
+            )
+
+        def detect():
+            # Heartbeats stop at the fault; the scheduler declares the
+            # node dead one timeout later.
+            yield self.sim.timeout(self.policy.heartbeat_timeout)
+            if self.injector is not None and self.injector.is_down(node_index):
+                self.detected_down.add(node_index)
+
+        self.sim.process(detect())
+
+    def _on_node_up(self, node_index: int) -> None:
+        # A rejoining tracker re-registers immediately.
+        self.detected_down.discard(node_index)
+
+    # ---- placement -------------------------------------------------------
+    def _initial_node(self, task: TaskDescriptor) -> int:
+        if task.preferred_node is not None:
+            node_index = task.preferred_node % self.n_nodes
+        else:
+            node_index = self._next_node
+            self._next_node = (self._next_node + 1) % self.n_nodes
+        return self._alive_node_from(node_index)
+
+    def _alive_node_from(self, node_index: int, exclude: int = -1) -> int:
+        """First node at or after ``node_index`` believed alive."""
+        for offset in range(self.n_nodes):
+            candidate = (node_index + offset) % self.n_nodes
+            if candidate == exclude:
+                continue
+            if candidate not in self.detected_down:
+                return candidate
+        raise JobFailedError("no surviving nodes to schedule on")
+
+    # ---- the task body (identical to plain wave execution) ---------------
+    def _attempt_body(self, task: TaskDescriptor, node_index: int):
+        node = self.cluster.node(node_index)
+        peer = self.cluster.node((node_index + 1) % self.n_nodes)
+        total_io = task.read_bytes + task.write_bytes
+        cpu_seconds = task.cpu_instructions / self.instruction_rate
+        n_chunks = max(1, (total_io + self.io_chunk_bytes - 1) // self.io_chunk_bytes)
+        cpu_per_chunk = cpu_seconds / n_chunks
+        # Integer division would silently drop up to n_chunks-1 bytes per
+        # task (and *all* I/O when bytes < n_chunks); the remainder rides
+        # the final chunk so bandwidth metrics account for every byte.
+        read_per_chunk, read_remainder = divmod(task.read_bytes, n_chunks)
+        write_per_chunk, write_remainder = divmod(task.write_bytes, n_chunks)
+        for chunk in range(n_chunks):
+            last = chunk == n_chunks - 1
+            nread = read_per_chunk + (read_remainder if last else 0)
+            if nread:
+                yield node.blocking_read(nread)
+            if cpu_per_chunk > 0:
+                yield node.compute(cpu_per_chunk)
+            nwrite = write_per_chunk + (write_remainder if last else 0)
+            if nwrite:
+                yield node.blocking_write(
+                    nwrite, sequential=not task.random_writes
+                )
+        if task.net_bytes and self.n_nodes > 1:
+            yield self.cluster.network.transfer(
+                node.name, peer.name, task.net_bytes
+            )
+
+    def _launch(self, state: _TaskState, node_index: int) -> Process:
+        process = self.sim.process(self._attempt_body(state.task, node_index))
+        if self.injector is not None:
+            self.injector.register_attempt(node_index, process)
+        return process
+
+    def _finish_attempt(self, node_index: int, process: Process) -> None:
+        if self.injector is not None:
+            self.injector.unregister_attempt(node_index, process)
+
+    # ---- supervision -----------------------------------------------------
+    def _supervise(self, state: _TaskState):
+        """One generator per task: launch, await, retry, give up."""
+        policy = self.policy
+        backoff = policy.retry_backoff
+        node_index = state.node
+        state.first_launch = self.sim.now
+        while True:
+            state.attempts += 1
+            started = self.sim.now
+            process = self._launch(state, node_index)
+            state.primary = process
+            outcome = yield process
+            self._finish_attempt(node_index, process)
+            elapsed = self.sim.now - started
+            if not isinstance(outcome, Interrupted):
+                # Clean finish: this attempt wins.
+                self.stats.useful_seconds += elapsed
+                self._mark_done(state)
+                return
+            if state.done:
+                # A speculative duplicate beat this attempt; its watcher
+                # already recorded the win.  The primary's time is waste.
+                self.stats.wasted_seconds += elapsed
+                return
+            # Genuine failure.
+            self.stats.wasted_seconds += elapsed
+            if policy.abort_on_node_loss:
+                raise JobFailedError(
+                    f"task {state.index} lost ({outcome.cause}); "
+                    f"the runtime aborts the whole job on node loss"
+                )
+            if state.attempts >= policy.max_attempts:
+                raise JobFailedError(
+                    f"task {state.index} failed {state.attempts} attempts "
+                    f"(last cause: {outcome.cause})"
+                )
+            self.stats.tasks_retried += 1
+            # The scheduler only learns of the loss after a heartbeat
+            # timeout, then waits out the capped exponential backoff.
+            try:
+                yield self.sim.timeout(policy.heartbeat_timeout + backoff)
+            except Interrupted:
+                pass  # woken early: a speculative duplicate finished
+            if state.done:
+                return
+            backoff = min(backoff * policy.backoff_factor, policy.max_backoff)
+            node_index = self._alive_node_from(node_index + 1)
+
+    def _mark_done(self, state: _TaskState) -> None:
+        state.done = True
+        if state.runtime is None:
+            state.runtime = self.sim.now - state.first_launch
+        loser = state.speculative
+        if loser is not None and not loser.triggered:
+            loser.interrupt("speculative duplicate lost the race")
+
+    # ---- speculative execution -------------------------------------------
+    def _speculative_attempt(self, state: _TaskState, node_index: int):
+        self.stats.speculative_launches += 1
+        started = self.sim.now
+        process = self._launch(state, node_index)
+        state.speculative = process
+        outcome = yield process
+        self._finish_attempt(node_index, process)
+        elapsed = self.sim.now - started
+        if isinstance(outcome, Interrupted) or state.done:
+            # Lost the race (or its node died): duplicated work is waste.
+            self.stats.wasted_seconds += elapsed
+            return
+        self.stats.useful_seconds += elapsed
+        self.stats.speculative_wins += 1
+        state.runtime = self.sim.now - state.first_launch
+        state.done = True
+        primary = state.primary
+        if primary is not None and not primary.triggered:
+            primary.interrupt("speculative duplicate won the race")
+        supervisor = state.supervisor
+        if supervisor is not None and not supervisor.triggered:
+            # Wake a supervisor sleeping out a retry backoff.
+            supervisor.interrupt("task completed speculatively")
+
+    def _speculation_monitor(self, states: List[_TaskState], gate: Event):
+        policy = self.policy
+        while not gate.triggered:
+            yield self.sim.timeout(policy.heartbeat_interval)
+            runtimes = [
+                s.runtime for s in states if s.done and s.runtime is not None
+            ]
+            if 2 * len(runtimes) < len(states):
+                continue  # speculate only once the wave's median is known
+            threshold = policy.slowdown_threshold * median(runtimes)
+            for state in states:
+                if state.done or state.speculated:
+                    continue
+                if self.sim.now - state.first_launch < threshold:
+                    continue
+                try:
+                    node_index = self._alive_node_from(
+                        state.node + 1, exclude=state.node
+                    )
+                except JobFailedError:
+                    continue  # nowhere to duplicate onto
+                state.speculated = True
+                self.sim.process(self._speculative_attempt(state, node_index))
+
+    # ---- wave loop -------------------------------------------------------
+    def run(self, waves: List[List[TaskDescriptor]]) -> SystemMetrics:
+        for wave_index, wave in enumerate(waves):
+            if not wave:
+                continue
+            states = []
+            for task_index, task in enumerate(wave):
+                states.append(
+                    _TaskState(
+                        index=task_index,
+                        task=task,
+                        node=self._initial_node(task),
+                    )
+                )
+            supervisors = []
+            for state in states:
+                state.supervisor = self.sim.process(self._supervise(state))
+                supervisors.append(state.supervisor)
+            gate = self.sim.all_of(supervisors)
+            monitor = None
+            if self.injector is not None and self.policy.speculation:
+                monitor = self.sim.process(
+                    self._speculation_monitor(states, gate)
+                )
+            self.sim.run(until_event=gate)
+            if monitor is not None:
+                monitor.interrupt("wave complete")
+            if not gate.triggered:
+                # Reachable when fault injection strands work: report
+                # exactly which tasks were lost (an assert would vanish
+                # under ``python -O`` and name nothing).
+                lost = [s.index for s in states if not s.done]
+                raise RuntimeError(
+                    f"wave {wave_index} did not drain: tasks {lost} were "
+                    f"lost without completing or failing the job"
+                )
+        metrics = self.cluster.metrics()
+        metrics.tasks_retried = self.stats.tasks_retried
+        metrics.speculative_launches = self.stats.speculative_launches
+        metrics.speculative_wins = self.stats.speculative_wins
+        metrics.wasted_work_ratio = self.stats.wasted_work_ratio
+        if self.injector is not None:
+            metrics.faults_injected = self.injector.faults_injected
+        return metrics
+
+
 def run_waves(
     cluster: Cluster,
     waves: List[List[TaskDescriptor]],
     instruction_rate: float,
     io_chunk_bytes: int = 64 * 1024 * 1024,
+    faults: Optional[FaultPlan] = None,
+    policy: Optional[RecoveryPolicy] = None,
 ) -> SystemMetrics:
     """Execute task waves with a barrier between waves.
 
     Tasks interleave I/O and compute in ``io_chunk_bytes`` chunks, which
-    is how MapReduce-style engines overlap them.  Returns the cluster's
-    system metrics at completion.
+    is how MapReduce-style engines overlap them.  ``faults`` injects a
+    :class:`~repro.cluster.faults.FaultPlan` into the run and ``policy``
+    selects the stack's recovery behaviour (defaults to a generic
+    retrying policy; see :func:`policy_for`).  Returns the cluster's
+    system metrics at completion, including recovery accounting.
+
+    Raises :class:`JobFailedError` when the policy gives up — a task
+    exhausts ``max_attempts``, or any node is lost under an
+    ``abort_on_node_loss`` (MPI-style) policy.
     """
     if instruction_rate <= 0:
         raise ValueError("instruction_rate must be positive")
-    sim = cluster.sim
-    n_nodes = len(cluster)
-
-    def task_process(task: TaskDescriptor, node_index: int):
-        node = cluster.node(node_index)
-        peer = cluster.node((node_index + 1) % n_nodes)
-        total_io = task.read_bytes + task.write_bytes
-        cpu_seconds = task.cpu_instructions / instruction_rate
-        n_chunks = max(1, (total_io + io_chunk_bytes - 1) // io_chunk_bytes)
-        cpu_per_chunk = cpu_seconds / n_chunks
-        read_per_chunk = task.read_bytes // n_chunks
-        write_per_chunk = task.write_bytes // n_chunks
-        for _ in range(n_chunks):
-            if read_per_chunk:
-                yield node.blocking_read(read_per_chunk)
-            if cpu_per_chunk > 0:
-                yield node.compute(cpu_per_chunk)
-            if write_per_chunk:
-                yield node.blocking_write(
-                    write_per_chunk, sequential=not task.random_writes
-                )
-        if task.net_bytes and n_nodes > 1:
-            yield cluster.network.transfer(node.name, peer.name, task.net_bytes)
-
-    next_node = 0
-    for wave in waves:
-        processes = []
-        for task in wave:
-            if task.preferred_node is not None:
-                node_index = task.preferred_node % n_nodes
-            else:
-                node_index = next_node
-                next_node = (next_node + 1) % n_nodes
-            processes.append(sim.process(task_process(task, node_index)))
-        if processes:
-            gate = sim.all_of(processes)
-            sim.run()  # drain this wave before starting the next
-            assert gate.triggered
-    return cluster.metrics()
+    scheduler = _WaveScheduler(
+        cluster,
+        instruction_rate,
+        io_chunk_bytes,
+        faults,
+        policy if policy is not None else RecoveryPolicy(),
+    )
+    return scheduler.run(waves)

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.stacks.base import (
     SPARK_TRAITS,
     KernelTraits,
@@ -25,7 +26,12 @@ from repro.stacks.base import (
     WorkloadResult,
     build_profile,
 )
-from repro.stacks.scheduler import TaskDescriptor, run_waves
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 
 def _value_bytes(value: object) -> int:
@@ -260,8 +266,15 @@ class Spark(SoftwareStack):
         stream_fraction: float = 0.008,
         output_bytes: Optional[int] = None,
         cluster: Optional[Cluster] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> WorkloadResult:
-        """Assemble the WorkloadResult after the driver program ran."""
+        """Assemble the WorkloadResult after the driver program ran.
+
+        ``faults`` injects an infrastructure fault plan into the
+        cluster replay; lost tasks are recomputed from lineage under
+        ``recovery`` (Spark's task-retry policy by default).
+        """
         meter = self._meter
         if output_bytes is None:
             output_bytes = _value_bytes(output) if output is not None else 0
@@ -288,7 +301,9 @@ class Spark(SoftwareStack):
         system = None
         elapsed = None
         if cluster is not None:
-            system, elapsed = self._simulate(meter, cluster)
+            system, elapsed = self._simulate(
+                meter, cluster, faults=faults, recovery=recovery
+            )
         return WorkloadResult(
             name=name,
             output=output,
@@ -298,7 +313,13 @@ class Spark(SoftwareStack):
             elapsed=elapsed,
         )
 
-    def _simulate(self, meter: Meter, cluster: Cluster) -> tuple:
+    def _simulate(
+        self,
+        meter: Meter,
+        cluster: Cluster,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> tuple:
         """Replay stages as task waves.
 
         Spark reads input once from the DFS, keeps intermediate data in
@@ -337,5 +358,9 @@ class Spark(SoftwareStack):
                 for t, _ in zip(range(n_tasks), range(n_tasks))
             ]
             waves.append(wave)
-        metrics = run_waves(cluster, waves, rate)
+        if recovery is None:
+            recovery = policy_for("Spark")
+        metrics = run_waves(
+            cluster, waves, rate, faults=faults, policy=recovery
+        )
         return metrics, cluster.sim.now - start

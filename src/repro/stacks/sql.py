@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.stacks.base import (
     HIVE_TRAITS,
     IMPALA_TRAITS,
@@ -31,7 +32,12 @@ from repro.stacks.base import (
     WorkloadResult,
     build_profile,
 )
-from repro.stacks.scheduler import TaskDescriptor, run_waves
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
 
 Rows = List[dict]
 
@@ -111,6 +117,11 @@ class SqlEngine(SoftwareStack):
     #: Per-row batch size for vectorised execution (Impala overrides).
     batch_rows = 1
 
+    #: Which stack's recovery policy governs lost tasks — the engine a
+    #: query compiles to (Hive -> MapReduce retries, Shark -> Spark
+    #: lineage, Impala -> query abort).  See :func:`policy_for`.
+    recovery_stack = ""
+
     def __init__(self, traits: StackTraits):
         super().__init__(traits)
 
@@ -122,6 +133,8 @@ class SqlEngine(SoftwareStack):
         kernel: Optional[KernelTraits] = None,
         state_fraction: float = 0.035,
         cluster: Optional[Cluster] = None,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> WorkloadResult:
         """Run ``query`` against ``tables``; returns rows + profile."""
         if query.table not in tables:
@@ -163,7 +176,10 @@ class SqlEngine(SoftwareStack):
         system = None
         elapsed = None
         if cluster is not None:
-            system, elapsed = self._simulate(meter, shuffle_events, cluster)
+            system, elapsed = self._simulate(
+                meter, shuffle_events, cluster,
+                faults=faults, recovery=recovery,
+            )
         return WorkloadResult(
             name=name,
             output=rows,
@@ -269,7 +285,12 @@ class SqlEngine(SoftwareStack):
         shuffle_events.append(nbytes)
 
     def _simulate(
-        self, meter: Meter, shuffle_events: List[int], cluster: Cluster
+        self,
+        meter: Meter,
+        shuffle_events: List[int],
+        cluster: Cluster,
+        faults: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> tuple:
         rate = self.traits.instruction_rate
         start = cluster.sim.now
@@ -303,12 +324,18 @@ class SqlEngine(SoftwareStack):
                     for t in range(n_tasks)
                 ]
             )
-        metrics = run_waves(cluster, waves, rate)
+        if recovery is None:
+            recovery = policy_for(self.recovery_stack)
+        metrics = run_waves(
+            cluster, waves, rate, faults=faults, policy=recovery
+        )
         return metrics, cluster.sim.now - start
 
 
 class HiveEngine(SqlEngine):
     """Hive 0.9: SQL compiled to MapReduce jobs on the JVM."""
+
+    recovery_stack = "Hive"
 
     def __init__(self):
         super().__init__(HIVE_TRAITS)
@@ -316,6 +343,8 @@ class HiveEngine(SqlEngine):
 
 class SharkEngine(SqlEngine):
     """Shark: SQL compiled to Spark RDD operations."""
+
+    recovery_stack = "Shark"
 
     def __init__(self):
         super().__init__(SHARK_TRAITS)
@@ -325,6 +354,7 @@ class ImpalaEngine(SqlEngine):
     """Impala: a native C++ MPP engine with vectorised scans."""
 
     batch_rows = 1024
+    recovery_stack = "Impala"
 
     def __init__(self):
         super().__init__(IMPALA_TRAITS)

@@ -13,10 +13,12 @@ from collections import Counter
 from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.cluster.faults import FaultPlan
 from repro.datagen.text import WikipediaCorpus
 from repro.stacks.base import KernelTraits, Meter, WorkloadResult
 from repro.stacks.hadoop import Hadoop, MapReduceJob
 from repro.stacks.mpi import MpiRuntime
+from repro.stacks.scheduler import RecoveryPolicy
 from repro.stacks.spark import Spark
 
 #: Baseline input size: documents at ``scale`` = 1.  The paper uses
@@ -89,7 +91,11 @@ def _wordcount_state_bytes(meter: Meter, bytes_per_entry: int = 96) -> int:
 # --------------------------------------------------------------------------
 
 def hadoop_wordcount(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """H-WordCount: the Hadoop WordCount of Table 2 (row 15)."""
 
@@ -113,11 +119,18 @@ def hadoop_wordcount(
         state_fraction=0.030,
         stream_fraction=0.010,
     )
-    return Hadoop().run(job, wiki_documents(scale, seed), cluster=cluster)
+    return Hadoop().run(
+        job, wiki_documents(scale, seed), cluster=cluster,
+        faults=faults, recovery=recovery,
+    )
 
 
 def spark_wordcount(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """S-WordCount: Table 2 row 5."""
     spark = Spark()
@@ -141,11 +154,17 @@ def spark_wordcount(
         state_fraction=0.035,
         stream_fraction=0.020,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )
 
 
 def mpi_wordcount(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """M-WordCount: the thin-stack version of §4.1."""
 
@@ -182,6 +201,8 @@ def mpi_wordcount(
         state_fraction=0.022,
         stream_fraction=0.003,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )
 
 

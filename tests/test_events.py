@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster.events import Resource, Simulation
+from repro.cluster.events import Interrupted, Resource, Simulation
 
 
 class TestTimeouts:
@@ -175,3 +175,203 @@ class TestResource:
         sim.process(worker())
         sim.run()
         assert resource.queue_time() == pytest.approx(2.0)
+
+
+class TestInterrupt:
+    def test_interrupt_mid_timeout(self):
+        sim = Simulation()
+        seen = []
+
+        def worker():
+            try:
+                yield sim.timeout(10.0)
+                seen.append("finished")
+            except Interrupted as exc:
+                seen.append(exc.cause)
+                raise
+
+        process = sim.process(worker())
+        sim.run(until=3.0)
+        assert process.interrupt("node died") is True
+        assert process.interrupted
+        assert process.interrupt_cause == "node died"
+        assert isinstance(process.value, Interrupted)
+        assert seen == ["node died"]
+
+    def test_interrupt_after_completion_is_noop(self):
+        sim = Simulation()
+
+        def worker():
+            yield sim.timeout(1.0)
+            return "done"
+
+        process = sim.process(worker())
+        sim.run()
+        assert process.interrupt("too late") is False
+        assert not process.interrupted
+        assert process.value == "done"
+
+    def test_stale_event_does_not_resume_interrupted_process(self):
+        # The abandoned timeout still fires later; the dead process must
+        # not be stepped again.
+        sim = Simulation()
+        resumed = []
+
+        def worker():
+            yield sim.timeout(10.0)
+            resumed.append(sim.now)
+
+        process = sim.process(worker())
+        sim.run(until=1.0)
+        process.interrupt()
+        sim.run()
+        assert resumed == []
+        assert sim.now == 10.0  # the stale timeout drained harmlessly
+
+    def test_interrupt_releases_held_resource(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        finish = []
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                resource.release()
+
+        def waiter():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(1.0)
+            finally:
+                resource.release()
+            finish.append(sim.now)
+
+        holding = sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=5.0)
+        holding.interrupt("killed")
+        sim.run()
+        # The waiter got the freed unit at t=5 and ran for 1s.
+        assert finish == [6.0]
+        assert resource.in_use == 0
+
+    def test_interrupt_cascades_into_child_process(self):
+        sim = Simulation()
+        outcomes = []
+
+        def child():
+            try:
+                yield sim.timeout(50.0)
+                outcomes.append("child finished")
+            except Interrupted:
+                outcomes.append("child interrupted")
+                raise
+
+        def parent():
+            yield sim.process(child())
+            outcomes.append("parent finished")
+
+        parent_proc = sim.process(parent())
+        sim.run(until=2.0)
+        parent_proc.interrupt("crash")
+        sim.run()
+        assert outcomes == ["child interrupted"]
+
+    def test_catching_interrupt_keeps_process_alive(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupted:
+                log.append("caught")
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        process = sim.process(worker())
+        sim.run(until=1.0)
+        process.interrupt()
+        sim.run()
+        assert not process.interrupted  # it survived
+        assert log == ["caught", 3.0]
+
+
+class TestResourceCancel:
+    def test_cancel_queued_request_removes_waiter(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(10.0)
+            finally:
+                resource.release()
+
+        cancelled = {}
+
+        def canceller():
+            grant = resource.request()
+            cancelled["grant"] = grant
+            try:
+                yield grant
+            except Interrupted:
+                resource.cancel(grant)
+                raise
+
+        sim.process(holder())
+        process = sim.process(canceller())
+        sim.run(until=2.0)
+        process.interrupt()
+        sim.run()
+        # No phantom waiter: queueing stopped at the cancel (2s), not at
+        # the holder's release (10s).
+        assert resource.queue_time() == pytest.approx(2.0)
+        assert resource.in_use == 0
+
+    def test_cancel_granted_request_releases(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def worker():
+            grant = resource.request()
+            yield grant
+            resource.cancel(grant)  # already granted: acts as release
+
+        sim.process(worker())
+        sim.run()
+        assert resource.in_use == 0
+
+
+class TestRunUntilEvent:
+    def test_stops_at_gate_with_later_events_pending(self):
+        sim = Simulation()
+
+        def fast():
+            yield sim.timeout(2.0)
+
+        def slow_monitor():
+            yield sim.timeout(500.0)
+
+        gate = sim.all_of([sim.process(fast())])
+        sim.process(slow_monitor())
+        sim.run(until_event=gate)
+        assert gate.triggered
+        assert sim.now == 2.0  # the stale monitor did not inflate time
+
+    def test_already_triggered_gate_returns_immediately(self):
+        sim = Simulation()
+
+        def fast():
+            yield sim.timeout(1.0)
+
+        gate = sim.all_of([sim.process(fast())])
+        sim.run(until_event=gate)
+        at = sim.now
+        assert sim.run(until_event=gate) == at

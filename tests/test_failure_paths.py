@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.cluster import Cluster, DistributedFileSystem, Simulation
+from repro.cluster import Cluster, DistributedFileSystem, FaultPlan, Simulation
 from repro.cluster.events import Resource
-from repro.stacks import Hadoop, MapReduceJob, MpiRuntime, Spark
+from repro.stacks import Hadoop, JobFailedError, MapReduceJob, MpiRuntime, Spark
+from repro.stacks.scheduler import HADOOP_POLICY, MPI_POLICY, policy_for
 from repro.stacks.base import KernelTraits, Meter
 from repro.stacks.sql import HiveEngine, Query
 from repro.uarch.profile import (
@@ -97,6 +98,73 @@ class TestClusterFailures:
         node = cluster.node(0)
         with pytest.raises(MemoryError):
             node.allocate_memory(10_000.0)
+
+
+class TestSchedulerFailurePaths:
+    """Engine-level behaviour under injected node loss."""
+
+    def _wordcount_job(self):
+        def mapper(record, emit, meter):
+            for word in record.split():
+                emit(word, 1)
+
+        def reducer(key, values, emit, meter):
+            emit(key, sum(values))
+
+        return MapReduceJob(name="wc", mapper=mapper, reducer=reducer)
+
+    DOCS = ["alpha beta gamma delta"] * 120
+
+    def test_hadoop_retries_through_engine(self):
+        job = self._wordcount_job()
+        base = Hadoop().run(job, self.DOCS, cluster=Cluster())
+        plan = FaultPlan.single_crash(node=1, at=0.4 * base.system.elapsed)
+        policy = HADOOP_POLICY.scaled(base.system.elapsed / 100.0)
+        faulty = Hadoop().run(
+            job, self.DOCS, cluster=Cluster(), faults=plan, recovery=policy
+        )
+        # Same functional answer, recovered execution.
+        assert sorted(faulty.output) == sorted(base.output)
+        assert faulty.system.tasks_retried > 0
+        assert faulty.system.elapsed > base.system.elapsed
+
+    def test_hadoop_retry_is_deterministic_for_one_seed(self):
+        job = self._wordcount_job()
+        base = Hadoop().run(job, self.DOCS, cluster=Cluster())
+        plan = FaultPlan.seeded(3, horizon=base.system.elapsed)
+        policy = HADOOP_POLICY.scaled(base.system.elapsed / 100.0)
+        runs = [
+            Hadoop().run(
+                job, self.DOCS, cluster=Cluster(),
+                faults=plan, recovery=policy,
+            ).system
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_mpi_engine_aborts_on_node_loss(self):
+        def program(rank, comm, data, meter):
+            total = yield comm.allreduce(len(data), lambda a, b: a + b)
+            return total
+
+        from repro.stacks.base import KernelTraits
+
+        runtime = MpiRuntime(n_ranks=5)
+        partitions = [[1] * 2000] * 5
+        base = runtime.run("m", program, partitions, KernelTraits(),
+                           cluster=Cluster())
+        plan = FaultPlan.single_crash(node=1, at=0.4 * base.system.elapsed)
+        with pytest.raises(JobFailedError, match="aborts the whole job"):
+            runtime.run(
+                "m", program, partitions, KernelTraits(), cluster=Cluster(),
+                faults=plan,
+                recovery=MPI_POLICY.scaled(base.system.elapsed / 100.0),
+            )
+
+    def test_default_policies_differ_by_stack(self):
+        assert policy_for("MPI").abort_on_node_loss
+        assert not policy_for("Hadoop").abort_on_node_loss
+        assert not policy_for("Spark").abort_on_node_loss
 
 
 class TestProfileValidation:

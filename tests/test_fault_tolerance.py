@@ -1,0 +1,361 @@
+"""Fault injection and fault-tolerant scheduling tests.
+
+The load-bearing guarantee: with no fault plan the fault-tolerant
+scheduler is *bit-identical* to plain wave execution, so fault tolerance
+never perturbs the paper's characterization baseline.  On top of that:
+seeded plans replay deterministically, Hadoop/Spark policies recover
+from a node crash while the MPI policy aborts, and speculation's first
+finisher wins.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.faults import (
+    DiskDegrade,
+    FaultInjector,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.stacks.scheduler import (
+    HADOOP_POLICY,
+    MPI_POLICY,
+    JobFailedError,
+    RecoveryPolicy,
+    TaskDescriptor,
+    policy_for,
+    run_waves,
+)
+from repro.workloads.kernels import (
+    hadoop_wordcount,
+    mpi_wordcount,
+    spark_wordcount,
+)
+
+CHUNK = 64 * 1024 * 1024
+
+
+def mixed_waves():
+    """Two waves exercising reads, compute, writes and shuffle."""
+    wave_one = [
+        TaskDescriptor(
+            cpu_instructions=1.5e9,
+            read_bytes=150_000_000 + i,  # not chunk-aligned on purpose
+            write_bytes=40_000_000 + i,
+            net_bytes=5_000_000,
+        )
+        for i in range(8)
+    ]
+    wave_two = [
+        TaskDescriptor(
+            cpu_instructions=8e8,
+            read_bytes=30_000_000,
+            write_bytes=10_000_000,
+            preferred_node=i,
+        )
+        for i in range(5)
+    ]
+    return [wave_one, wave_two]
+
+
+def legacy_run_waves(cluster, waves, instruction_rate, io_chunk_bytes=CHUNK):
+    """The pre-fault-tolerance wave loop (byte-remainder fix applied),
+    kept inline as the bit-identity reference."""
+    sim = cluster.sim
+    n_nodes = len(cluster)
+
+    def task_process(task, node_index):
+        node = cluster.node(node_index)
+        peer = cluster.node((node_index + 1) % n_nodes)
+        total_io = task.read_bytes + task.write_bytes
+        cpu_seconds = task.cpu_instructions / instruction_rate
+        n_chunks = max(1, (total_io + io_chunk_bytes - 1) // io_chunk_bytes)
+        cpu_per_chunk = cpu_seconds / n_chunks
+        read_per_chunk, read_remainder = divmod(task.read_bytes, n_chunks)
+        write_per_chunk, write_remainder = divmod(task.write_bytes, n_chunks)
+        for chunk in range(n_chunks):
+            last = chunk == n_chunks - 1
+            nread = read_per_chunk + (read_remainder if last else 0)
+            if nread:
+                yield node.blocking_read(nread)
+            if cpu_per_chunk > 0:
+                yield node.compute(cpu_per_chunk)
+            nwrite = write_per_chunk + (write_remainder if last else 0)
+            if nwrite:
+                yield node.blocking_write(nwrite, sequential=not task.random_writes)
+        if task.net_bytes and n_nodes > 1:
+            yield cluster.network.transfer(node.name, peer.name, task.net_bytes)
+
+    next_node = 0
+    for wave in waves:
+        if not wave:
+            continue
+        processes = []
+        for task in wave:
+            if task.preferred_node is not None:
+                node_index = task.preferred_node % n_nodes
+            else:
+                node_index = next_node
+                next_node = (next_node + 1) % n_nodes
+            processes.append(sim.process(task_process(task, node_index)))
+        gate = sim.all_of(processes)
+        sim.run()
+        assert gate.triggered
+    return cluster.metrics()
+
+
+class TestFaultFreeBitIdentity:
+    def test_identical_to_legacy_scheduler(self):
+        legacy = legacy_run_waves(Cluster(), mixed_waves(), 2e9)
+        current = run_waves(Cluster(), mixed_waves(), 2e9)
+        assert current == legacy  # full dataclass equality, every field
+
+    def test_empty_plan_identical_to_no_plan(self):
+        bare = run_waves(Cluster(), mixed_waves(), 2e9)
+        empty = run_waves(
+            Cluster(), mixed_waves(), 2e9,
+            faults=FaultPlan.none(), policy=HADOOP_POLICY,
+        )
+        assert bare == empty
+
+    def test_fault_free_recovery_fields_stay_default(self):
+        metrics = run_waves(Cluster(), mixed_waves(), 2e9)
+        assert metrics.tasks_retried == 0
+        assert metrics.speculative_launches == 0
+        assert metrics.wasted_work_ratio == 0.0
+        assert metrics.makespan_inflation == 1.0
+        assert metrics.faults_injected == 0
+
+
+class TestByteAccounting:
+    def test_io_remainder_bytes_not_lost(self):
+        # 2 chunks with an odd byte: integer division used to drop it.
+        read = CHUNK + 3
+        write = CHUNK // 2 + 1
+        cluster = Cluster(n_nodes=1)
+        run_waves(
+            cluster,
+            [[TaskDescriptor(cpu_instructions=1e9, read_bytes=read,
+                             write_bytes=write)]],
+            2e9,
+        )
+        disk = cluster.node(0).disk
+        assert disk.bytes_read == read
+        assert disk.bytes_written == write
+
+    def test_tiny_io_smaller_than_chunk_count_survives(self):
+        # read_bytes < n_chunks used to floor to zero bytes per chunk.
+        cluster = Cluster(n_nodes=1)
+        run_waves(
+            cluster,
+            [[TaskDescriptor(cpu_instructions=1e9, read_bytes=1,
+                             write_bytes=2 * CHUNK)]],
+            2e9,
+        )
+        assert cluster.node(0).disk.bytes_read == 1
+
+
+class TestFaultPlans:
+    def test_seeded_plan_reproducible(self):
+        first = FaultPlan.seeded(11, horizon=2.0, crashes=1,
+                                 degraded_disks=1, partitions=1)
+        second = FaultPlan.seeded(11, horizon=2.0, crashes=1,
+                                  degraded_disks=1, partitions=1)
+        assert first == second
+        assert len(first.faults) == 3
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.seeded(1, horizon=2.0) != FaultPlan.seeded(2, horizon=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node=0, at=1.0, recover_at=0.5)
+        with pytest.raises(ValueError):
+            DiskDegrade(node=0, at=0.0, factor=0.5)
+        with pytest.raises(ValueError):
+            NetworkPartition(nodes=(), at=0.0, until=1.0)
+
+    def test_injector_installs_once(self):
+        cluster = Cluster()
+        injector = FaultInjector(cluster, FaultPlan.single_crash())
+        injector.install()
+        with pytest.raises(RuntimeError):
+            injector.install()
+
+
+def crash_policy(**overrides) -> RecoveryPolicy:
+    """A Hadoop-style policy with clocks scaled to millisecond jobs."""
+    base = HADOOP_POLICY.scaled(0.0001)
+    return dataclasses.replace(base, **overrides) if overrides else base
+
+
+class TestRecovery:
+    def test_single_crash_recovers_with_retries(self):
+        baseline = run_waves(Cluster(), mixed_waves(), 2e9)
+        plan = FaultPlan.single_crash(node=1, at=0.4 * baseline.elapsed)
+        faulty = run_waves(
+            Cluster(), mixed_waves(), 2e9, faults=plan, policy=crash_policy()
+        )
+        assert faulty.tasks_retried > 0
+        assert faulty.elapsed > baseline.elapsed
+        assert 0.0 < faulty.wasted_work_ratio < 1.0
+        assert faulty.faults_injected == 1
+
+    def test_same_plan_reproduces_identical_metrics(self):
+        plan = FaultPlan.seeded(7, horizon=1.0)
+        first = run_waves(
+            Cluster(), mixed_waves(), 2e9, faults=plan, policy=crash_policy()
+        )
+        second = run_waves(
+            Cluster(), mixed_waves(), 2e9, faults=plan, policy=crash_policy()
+        )
+        assert first == second
+
+    def test_retries_avoid_the_dead_node(self):
+        baseline = run_waves(Cluster(), mixed_waves(), 2e9)
+        plan = FaultPlan.single_crash(node=2, at=0.3 * baseline.elapsed)
+        cluster = Cluster()
+        run_waves(cluster, mixed_waves(), 2e9, faults=plan,
+                  policy=crash_policy())
+        # The dead node did no work after the crash: its core busy time
+        # is strictly below every survivor's.
+        dead_cpu = cluster.node(2).cpu_time
+        survivor_cpu = [
+            cluster.node(i).cpu_time for i in range(5) if i != 2
+        ]
+        assert dead_cpu < min(survivor_cpu)
+
+    def test_max_attempts_exhaustion_fails_job(self):
+        baseline = run_waves(Cluster(), mixed_waves(), 2e9)
+        plan = FaultPlan.single_crash(node=1, at=0.4 * baseline.elapsed)
+        with pytest.raises(JobFailedError, match="attempts"):
+            run_waves(
+                Cluster(), mixed_waves(), 2e9, faults=plan,
+                policy=crash_policy(max_attempts=1, speculation=False),
+            )
+
+    def test_mpi_policy_aborts_whole_job(self):
+        baseline = run_waves(Cluster(), mixed_waves(), 2e9)
+        plan = FaultPlan.single_crash(node=1, at=0.4 * baseline.elapsed)
+        with pytest.raises(JobFailedError, match="aborts the whole job"):
+            run_waves(
+                Cluster(), mixed_waves(), 2e9, faults=plan,
+                policy=MPI_POLICY.scaled(0.0001),
+            )
+
+    def test_no_surviving_nodes_fails_job(self):
+        baseline = run_waves(
+            Cluster(n_nodes=2),
+            [[TaskDescriptor(cpu_instructions=2e9, read_bytes=100_000_000)
+              for _ in range(4)]],
+            2e9,
+        )
+        at = 0.3 * baseline.elapsed
+        plan = FaultPlan(faults=(
+            NodeCrash(node=0, at=at), NodeCrash(node=1, at=at),
+        ))
+        with pytest.raises(JobFailedError):
+            run_waves(
+                Cluster(n_nodes=2),
+                [[TaskDescriptor(cpu_instructions=2e9, read_bytes=100_000_000)
+                  for _ in range(4)]],
+                2e9, faults=plan, policy=crash_policy(),
+            )
+
+    def test_node_recovery_rejoins_scheduling(self):
+        baseline = run_waves(Cluster(), mixed_waves(), 2e9)
+        plan = FaultPlan.single_crash(
+            node=1, at=0.2 * baseline.elapsed,
+            recover_at=0.5 * baseline.elapsed,
+        )
+        metrics = run_waves(
+            Cluster(), mixed_waves(), 2e9, faults=plan, policy=crash_policy()
+        )
+        assert metrics.tasks_retried > 0
+        assert metrics.elapsed > baseline.elapsed
+
+    def test_stranded_wave_raises_runtime_error(self, monkeypatch):
+        # If the event queue drains without the wave gate triggering,
+        # the scheduler must name the lost tasks, not assert.
+        cluster = Cluster()
+        monkeypatch.setattr(
+            cluster.sim, "run", lambda *args, **kwargs: cluster.sim.now
+        )
+        with pytest.raises(RuntimeError, match="tasks \\[0, 1\\]"):
+            run_waves(
+                cluster,
+                [[TaskDescriptor(cpu_instructions=1e9),
+                  TaskDescriptor(cpu_instructions=1e9)]],
+                2e9,
+            )
+
+
+class TestSpeculation:
+    def test_degraded_disk_straggler_gets_duplicate(self):
+        # All tasks equal; one node's disk becomes 50x slower early on.
+        # The straggling task exceeds the wave median and a duplicate on
+        # a healthy node finishes first.
+        wave = [
+            TaskDescriptor(cpu_instructions=5e8, read_bytes=120_000_000,
+                           preferred_node=i)
+            for i in range(5)
+        ]
+        baseline = run_waves(Cluster(), [list(wave)], 2e9)
+        plan = FaultPlan(faults=(
+            DiskDegrade(node=3, at=0.05 * baseline.elapsed, factor=50.0),
+        ))
+        policy = dataclasses.replace(
+            crash_policy(),
+            heartbeat_interval=0.02 * baseline.elapsed,
+            slowdown_threshold=1.3,
+        )
+        metrics = run_waves(
+            Cluster(), [list(wave)], 2e9, faults=plan, policy=policy
+        )
+        assert metrics.speculative_launches >= 1
+        assert metrics.speculative_wins >= 1
+        assert metrics.wasted_work_ratio > 0.0
+        # The duplicate rescues the wave from the 50x-degraded disk.
+        assert metrics.elapsed < 10 * baseline.elapsed
+
+
+class TestStackContrast:
+    """The §4.1 trio under one crash: deep stacks recover, MPI dies."""
+
+    SCALE = 0.25
+
+    def test_hadoop_and_spark_recover_where_mpi_aborts(self):
+        outcomes = {}
+        for name, runner in (
+            ("Hadoop", hadoop_wordcount),
+            ("Spark", spark_wordcount),
+            ("MPI", mpi_wordcount),
+        ):
+            base = runner(self.SCALE, cluster=Cluster())
+            plan = FaultPlan.seeded(7, horizon=base.system.elapsed)
+            policy = policy_for(name).scaled(base.system.elapsed / 100.0)
+            try:
+                faulty = runner(
+                    self.SCALE, cluster=Cluster(),
+                    faults=plan, recovery=policy,
+                )
+                outcomes[name] = (faulty.system, base.system)
+            except JobFailedError:
+                outcomes[name] = None
+        for stack in ("Hadoop", "Spark"):
+            faulty, base = outcomes[stack]
+            assert faulty.tasks_retried > 0
+            assert faulty.elapsed > base.elapsed
+        assert outcomes["MPI"] is None
+
+    def test_policy_catalog(self):
+        assert policy_for("MPI").abort_on_node_loss
+        assert policy_for("Impala").abort_on_node_loss
+        assert policy_for("Hadoop").speculation
+        assert policy_for("Hive") == policy_for("Hadoop")
+        assert policy_for("Shark") == policy_for("Spark")
+        assert not policy_for("HBase").abort_on_node_loss
+        assert not policy_for("unknown-stack").abort_on_node_loss
