@@ -10,11 +10,13 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro stacks                   # the §5.5 stack study
     python -m repro system                   # §3.2 classification
     python -m repro faults [--seed 7]        # stack fault resilience
+    python -m repro trace S-WordCount        # span-trace one run
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import (
@@ -64,12 +66,48 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     definition = workload(args.workload)
     platform = ATOM_D510 if args.platform == "d510" else XEON_E5645
-    print(f"running {definition.workload_id} ({definition.description}) ...")
+    if not args.json:
+        print(f"running {definition.workload_id} ({definition.description}) ...")
     result = definition.runner(scale=args.scale)
     counters = characterize(result.profile, platform)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": definition.workload_id,
+                    "platform": platform.name,
+                    "scale": args.scale,
+                    "metrics": counters.metric_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"platform: {platform.name}")
     for name, value in counters.metric_dict().items():
         print(f"  {name:26s} {value:12.4f}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.events import Simulation
+    from repro.obs import Tracer, render_trace_summary, write_chrome_trace
+
+    definition = workload(args.workload)
+    tracer = Tracer(sample_interval=args.sample_interval)
+    cluster = Cluster(sim=Simulation(tracer=tracer))
+    print(f"tracing {definition.workload_id} ({definition.description}) ...")
+    definition.runner(scale=args.scale, cluster=cluster, seed=args.seed)
+    n_events = write_chrome_trace(
+        tracer, args.out, process_name=f"repro {definition.workload_id}"
+    )
+    print(render_trace_summary(tracer))
+    print(
+        f"\nwrote {n_events} trace events to {args.out} — load it in "
+        f"Perfetto (ui.perfetto.dev) or chrome://tracing"
+    )
     return 0
 
 
@@ -84,17 +122,31 @@ def _cmd_reduce(args) -> int:
     return 0
 
 
+def _print_timings(context: ExperimentContext) -> None:
+    lines = context.timing_lines()
+    if lines:
+        print("\ntimings:")
+        for line in lines:
+            print(f"  {line}")
+
+
 def _cmd_fig(args) -> int:
     context = ExperimentContext(scale=args.scale)
     if args.figure == "locality":
-        print(fig6to9_locality.run(context).render())
+        with context.time_experiment("fig-locality"):
+            rendered = fig6to9_locality.run(context).render()
+        print(rendered)
+        _print_timings(context)
         return 0
     module = _FIGURES.get(args.figure)
     if module is None:
         print(f"unknown figure {args.figure!r}; choose 1-5 or 'locality'",
               file=sys.stderr)
         return 2
-    print(module.run(context).render())
+    with context.time_experiment(f"fig-{args.figure}"):
+        rendered = module.run(context).render()
+    print(rendered)
+    _print_timings(context)
     return 0
 
 
@@ -107,7 +159,10 @@ def _cmd_table(args) -> int:
         print(f"unknown table {args.table!r}; choose 1, 2 or 4", file=sys.stderr)
         return 2
     context = ExperimentContext(scale=args.scale)
-    print(module.run(context).render())
+    with context.time_experiment(f"table-{args.table}"):
+        rendered = module.run(context).render()
+    print(rendered)
+    _print_timings(context)
     return 0
 
 
@@ -125,7 +180,11 @@ def _cmd_system(args) -> int:
 
 def _cmd_faults(args) -> int:
     context = ExperimentContext(scale=args.scale, seed=args.seed)
-    print(fault_resilience.run(context).render())
+    result = fault_resilience.run(context)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.render())
     return 0
 
 
@@ -145,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("workload", help="workload id, e.g. S-WordCount")
     run_parser.add_argument("--platform", choices=("e5645", "d510"),
                             default="e5645")
+    run_parser.add_argument("--json", action="store_true",
+                            help="emit metrics as JSON instead of a table")
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="run one workload on a traced cluster; export a Chrome trace",
+    )
+    trace_parser.add_argument("workload", help="workload id, e.g. S-WordCount")
+    trace_parser.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace_event output path (default trace.json)",
+    )
+    trace_parser.add_argument(
+        "--sample-interval", type=float, default=None, metavar="S",
+        help="sample per-node utilization every S simulated seconds "
+             "(default: wave boundaries only)",
+    )
+    trace_parser.add_argument("--seed", type=int, default=0)
 
     reduce_parser = commands.add_parser("reduce", help="the 77 -> 17 reduction")
     reduce_parser.add_argument("--k", type=int, default=17)
@@ -166,12 +243,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=7,
         help="fault-plan seed (same seed, same faults, same metrics)",
     )
+    faults_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the resilience results as JSON instead of a table",
+    )
     return parser
 
 
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "reduce": _cmd_reduce,
     "fig": _cmd_fig,
     "table": _cmd_table,

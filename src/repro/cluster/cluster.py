@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from repro.cluster.events import Simulation
 from repro.cluster.network import Network
@@ -26,6 +26,10 @@ class SystemMetrics:
     - ``makespan_inflation``: elapsed versus the fault-free elapsed for
       the same job (filled by experiments that run both).
     - ``faults_injected``: infrastructure faults the plan delivered.
+
+    ``timeline`` carries the per-node utilization samples when telemetry
+    was attached; it is excluded from ``==`` so the fault-free
+    bit-identity comparisons stay about the measured totals.
     """
 
     elapsed: float
@@ -40,6 +44,24 @@ class SystemMetrics:
     wasted_work_ratio: float = 0.0
     makespan_inflation: float = 1.0
     faults_injected: int = 0
+    timeline: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro run --json``); no timeline."""
+        return {
+            "elapsed": self.elapsed,
+            "cpu_utilization": self.cpu_utilization,
+            "io_wait_ratio": self.io_wait_ratio,
+            "weighted_io_time_ratio": self.weighted_io_time_ratio,
+            "disk_bandwidth_mbps": self.disk_bandwidth_mbps,
+            "network_bandwidth_mbps": self.network_bandwidth_mbps,
+            "tasks_retried": self.tasks_retried,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "wasted_work_ratio": self.wasted_work_ratio,
+            "makespan_inflation": self.makespan_inflation,
+            "faults_injected": self.faults_injected,
+        }
 
 
 class Cluster:
@@ -61,6 +83,22 @@ class Cluster:
             self.network.attach(node.nic)
             self.nodes.append(node)
         self._started_at = self.sim.now
+        self.telemetry = None
+
+    def attach_telemetry(self, tracer=None):
+        """Attach a utilization-timeline sampler (idempotent).
+
+        ``tracer`` defaults to the simulation's tracer; the scheduler
+        calls this when tracing so :meth:`metrics` can aggregate its
+        totals from the sampled timeline instead of the live counters.
+        """
+        if self.telemetry is None:
+            from repro.obs.metrics import ClusterTelemetry
+
+            if tracer is None:
+                tracer = self.sim.tracer
+            self.telemetry = ClusterTelemetry(self, tracer)
+        return self.telemetry
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -76,7 +114,14 @@ class Cluster:
         """Cluster-wide system metrics since construction."""
         elapsed = self.sim.now - self._started_at
         if elapsed <= 0:
-            return SystemMetrics(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return SystemMetrics(
+                elapsed=0.0,
+                cpu_utilization=0.0,
+                io_wait_ratio=0.0,
+                weighted_io_time_ratio=0.0,
+                disk_bandwidth_mbps=0.0,
+                network_bandwidth_mbps=0.0,
+            )
         n = len(self.nodes)
         # Utilisation is reported as the duty cycle of *occupied* cores
         # (compute time versus compute + I/O-blocked time).  Scaled-down
@@ -84,23 +129,37 @@ class Cluster:
         # core-utilisation would trivially classify everything as idle;
         # the duty cycle preserves the paper's compute/IO balance, which
         # is what the §3.2.1 rules discriminate on.
-        total_cpu = sum(node.cpu_time for node in self.nodes)
-        # Disk *service* time, not per-task blocked time: with more
-        # runnable tasks than in-flight I/Os the OS overlaps the queueing
-        # delay with other tasks' compute, exactly as Linux iowait does.
-        total_io = sum(node.disk.busy_time() for node in self.nodes)
+        # When telemetry is attached the totals come off the sampled
+        # timeline's closing samples; those read the same accounting
+        # fields in the same node order, so the floats are bit-identical
+        # to the direct sums below.
+        timeline = None
+        if self.telemetry is not None:
+            totals = self.telemetry.finalize()
+            timeline = self.telemetry.timeline
+            total_cpu = totals.cpu_seconds
+            total_io = totals.disk_busy_seconds
+            total_weighted = totals.disk_weighted_seconds
+            total_disk_bytes = totals.disk_bytes
+            total_net_bytes = totals.net_bytes
+        else:
+            total_cpu = sum(node.cpu_time for node in self.nodes)
+            # Disk *service* time, not per-task blocked time: with more
+            # runnable tasks than in-flight I/Os the OS overlaps the
+            # queueing delay with other tasks' compute, exactly as Linux
+            # iowait does.
+            total_io = sum(node.disk.busy_time() for node in self.nodes)
+            total_weighted = sum(
+                node.disk.weighted_io_time() for node in self.nodes
+            )
+            total_disk_bytes = sum(node.disk.total_bytes for node in self.nodes)
+            total_net_bytes = sum(node.nic.total_bytes for node in self.nodes)
         busy = total_cpu + total_io
         cpu = total_cpu / busy if busy > 0 else 0.0
         iowait = total_io / busy if busy > 0 else 0.0
-        weighted = (
-            sum(node.disk.weighted_io_time() for node in self.nodes) / n / elapsed
-        )
-        disk_bw = (
-            sum(node.disk.total_bytes for node in self.nodes) / n / elapsed / 1e6
-        )
-        net_bw = (
-            sum(node.nic.total_bytes for node in self.nodes) / n / elapsed / 1e6
-        )
+        weighted = total_weighted / n / elapsed
+        disk_bw = total_disk_bytes / n / elapsed / 1e6
+        net_bw = total_net_bytes / n / elapsed / 1e6
         return SystemMetrics(
             elapsed=elapsed,
             cpu_utilization=cpu,
@@ -108,4 +167,5 @@ class Cluster:
             weighted_io_time_ratio=weighted,
             disk_bandwidth_mbps=disk_bw,
             network_bandwidth_mbps=net_bw,
+            timeline=timeline,
         )

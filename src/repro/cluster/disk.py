@@ -71,6 +71,16 @@ class Disk:
             self._inflight -= 1
             raise
         duration = self._transfer_time(nbytes, sequential)
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "write" if is_write else "read",
+                "disk",
+                track=self.name,
+                bytes=nbytes,
+                sequential=sequential,
+            )
         started = self.sim.now
         done = 0
         try:
@@ -90,6 +100,8 @@ class Disk:
                 self.bytes_written += done
             else:
                 self.bytes_read += done
+            if span is not None:
+                tracer.end(span, transferred=done)
 
     def read(self, nbytes: int, sequential: bool = True) -> Event:
         """Process event for reading ``nbytes`` from this disk."""
@@ -104,9 +116,19 @@ class Disk:
         self._account()
         return self._weighted_io_time
 
+    def peek_weighted_io_time(self) -> float:
+        """:meth:`weighted_io_time` without flushing the lazy integral
+        (non-mutating; safe for mid-run telemetry samples)."""
+        elapsed = self.sim.now - self._last_change
+        return self._weighted_io_time + elapsed * self._inflight
+
     def busy_time(self) -> float:
         """Seconds the disk channel spent transferring."""
         return self._channel.busy_time()
+
+    def peek_busy_time(self) -> float:
+        """:meth:`busy_time` without flushing the channel's integral."""
+        return self._channel.peek_busy_time()
 
     @property
     def total_bytes(self) -> int:

@@ -153,12 +153,21 @@ class _Resume:
 
 
 class Simulation:
-    """The event loop: a time-ordered queue of pending events."""
+    """The event loop: a time-ordered queue of pending events.
 
-    def __init__(self):
+    ``tracer`` is an optional :class:`repro.obs.tracer.Tracer`; every
+    instrumented component reaches it through its ``sim`` reference and
+    skips all recording when it is ``None``, keeping untraced runs on
+    the exact pre-observability event schedule.
+    """
+
+    def __init__(self, tracer=None):
         self.now = 0.0
         self._queue: list = []
         self._sequence = 0
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.now)
 
     def _schedule(self, delay: float, item, value) -> None:
         self._sequence += 1
@@ -296,6 +305,16 @@ class Resource:
         """Capacity-unit-seconds of busy time so far."""
         self._account()
         return self._busy_integral
+
+    def peek_busy_time(self) -> float:
+        """:meth:`busy_time` without flushing the lazy integral.
+
+        Telemetry samples use this so that observing the resource
+        mid-run never changes the float-accumulation order of the
+        integral (reads stay bit-identical to an unobserved run).
+        """
+        elapsed = self.sim.now - self._last_change
+        return self._busy_integral + elapsed * self.in_use
 
     def queue_time(self) -> float:
         """Waiter-seconds accumulated so far (queueing pressure)."""

@@ -59,15 +59,25 @@ class Node:
                 # Never got (or just got) the core; withdraw cleanly.
                 self.cores.cancel(grant)
                 raise
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "compute", "cpu", track=f"{self.name}.cpu", seconds=seconds
+                )
             started = self.sim.now
             try:
                 yield self.sim.timeout(seconds)
                 self.cpu_time += seconds
-            except Interrupted:
+            except Interrupted as exc:
                 # Credit the cycles actually burned before the kill.
                 self.cpu_time += self.sim.now - started
+                if span is not None:
+                    span.args["interrupted"] = str(exc.cause)
                 raise
             finally:
+                if span is not None:
+                    tracer.end(span)
                 self.cores.release()
 
         return self.sim.process(run())
@@ -76,11 +86,19 @@ class Node:
         """Disk read during which the issuing task is I/O-blocked."""
 
         def run():
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "read", "io", track=f"{self.name}.io", bytes=nbytes
+                )
             start = self.sim.now
             try:
                 yield self.disk.read(nbytes, sequential=sequential)
             finally:
                 self.io_block_time += self.sim.now - start
+                if span is not None:
+                    tracer.end(span)
 
         return self.sim.process(run())
 
@@ -88,11 +106,19 @@ class Node:
         """Disk write during which the issuing task is I/O-blocked."""
 
         def run():
+            tracer = self.sim.tracer
+            span = None
+            if tracer is not None:
+                span = tracer.begin(
+                    "write", "io", track=f"{self.name}.io", bytes=nbytes
+                )
             start = self.sim.now
             try:
                 yield self.disk.write(nbytes, sequential=sequential)
             finally:
                 self.io_block_time += self.sim.now - start
+                if span is not None:
+                    tracer.end(span)
 
         return self.sim.process(run())
 

@@ -74,6 +74,26 @@ class FaultResilienceResult:
                 return entry
         raise KeyError(stack)
 
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro faults --json``)."""
+        return {
+            "seed": self.seed,
+            "stacks": [
+                {
+                    "stack": entry.stack,
+                    "outcome": entry.outcome,
+                    "failure": entry.failure,
+                    "baseline": entry.baseline.to_dict(),
+                    "faulty": (
+                        entry.faulty.to_dict()
+                        if entry.faulty is not None
+                        else None
+                    ),
+                }
+                for entry in self.results
+            ],
+        }
+
     def render(self) -> str:
         rows = []
         for entry in self.results:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.comparison import SUITES
+from repro.obs.metrics import CounterRegistry
 from repro.stacks.base import WorkloadResult
 from repro.uarch.counters import PerfCounters, characterize
 from repro.uarch.platforms import ATOM_D510, XEON_E5645, Platform
@@ -31,15 +32,19 @@ class ExperimentContext:
         self._results: Dict[str, WorkloadResult] = {}
         self._counters: Dict[tuple, PerfCounters] = {}
         self._suite_counters: Dict[tuple, List[PerfCounters]] = {}
+        #: Wall-clock accounting: ``workload.<id>.seconds/.calls`` per
+        #: cached execution, read back via :meth:`timing_lines`.
+        self.registry = CounterRegistry()
 
     # ---- workload layer ---------------------------------------------------
     def result(self, workload_id: str) -> WorkloadResult:
         """Functional + profiled execution of one catalog workload."""
         if workload_id not in self._results:
             definition = workload(workload_id)
-            self._results[workload_id] = definition.runner(
-                scale=self.scale, seed=self.seed
-            )
+            with self.registry.timer(f"workload.{workload_id}"):
+                self._results[workload_id] = definition.runner(
+                    scale=self.scale, seed=self.seed
+                )
         return self._results[workload_id]
 
     def counters(
@@ -146,3 +151,18 @@ class ExperimentContext:
     @property
     def xeon(self) -> Platform:
         return XEON_E5645
+
+    # ---- wall-clock accounting ---------------------------------------------
+    def time_experiment(self, name: str):
+        """Context manager timing one experiment under ``experiment.<name>``."""
+        return self.registry.timer(f"experiment.{name}")
+
+    def timing_lines(self) -> List[str]:
+        """One ``name: seconds`` line per timed workload and experiment."""
+        lines = []
+        for key, value in self.registry.snapshot().items():
+            if not key.endswith(".seconds"):
+                continue
+            name = key[: -len(".seconds")]
+            lines.append(f"{name}: {value:.3f}s wall")
+        return lines

@@ -1,0 +1,51 @@
+"""Observability for the simulated cluster: spans, telemetry, profiling.
+
+The measurement substrate the source paper had on real hardware —
+performance counters, framework logs, sampled system metrics — rebuilt
+for the simulator.  Everything is default-off: with no tracer attached
+the instrumented code paths record nothing and schedules stay
+bit-identical.
+"""
+
+from repro.obs.export import (
+    render_trace_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    ClusterTelemetry,
+    Counter,
+    CounterRegistry,
+    NodeSample,
+    TimelineTotals,
+    UtilizationTimeline,
+)
+from repro.obs.profiler import PhaseProfiler, phase, profiler, set_profiler
+from repro.obs.tracer import (
+    SPAN_CATEGORIES,
+    CounterSample,
+    InstantEvent,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "SPAN_CATEGORIES",
+    "ClusterTelemetry",
+    "Counter",
+    "CounterRegistry",
+    "CounterSample",
+    "InstantEvent",
+    "NodeSample",
+    "PhaseProfiler",
+    "Span",
+    "TimelineTotals",
+    "Tracer",
+    "UtilizationTimeline",
+    "phase",
+    "profiler",
+    "render_trace_summary",
+    "set_profiler",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,188 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and text summaries.
+
+The JSON exporter emits the Trace Event Format that Perfetto and
+``chrome://tracing`` load directly: complete (``"X"``) events for spans,
+instant (``"i"``) events for marks, counter (``"C"``) events for the
+sampled per-node utilization gauges, and metadata (``"M"``) events
+naming the process and per-track threads.  Simulated seconds become
+microseconds (the format's timestamp unit).
+
+The text exporter renders a per-category summary table and a flame-style
+listing of the slowest spans — the quick look before reaching for
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.tracer import Span, Tracer
+from repro.report.tables import render_table
+
+#: Single simulated process: every track is a thread of it.
+TRACE_PID = 1
+
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable tid assignment: scheduler first, then tracks by appearance."""
+    tids: Dict[str, int] = {"scheduler": 0}
+    sources = (
+        [s.track for s in tracer.spans]
+        + [i.track for i in tracer.instants]
+        + [c.track for c in tracer.samples]
+    )
+    for track in sources:
+        if track not in tids:
+            tids[track] = len(tids)
+    return tids
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> dict:
+    """The tracer's contents as a Chrome trace_event JSON object."""
+    tids = _track_ids(tracer)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "cat": "__metadata",
+            "ph": "M",
+            "ts": 0,
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.start
+        args = dict(span.args)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (end - span.start) * 1e6,
+                "pid": TRACE_PID,
+                "tid": tids[span.track],
+                "args": args,
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.category,
+                "ph": "i",
+                "s": "t",
+                "ts": instant.time * 1e6,
+                "pid": TRACE_PID,
+                "tid": tids[instant.track],
+                "args": dict(instant.args),
+            }
+        )
+    for sample in tracer.samples:
+        events.append(
+            {
+                "name": sample.name,
+                "cat": "telemetry",
+                "ph": "C",
+                "ts": sample.time * 1e6,
+                "pid": TRACE_PID,
+                "tid": tids[sample.track],
+                "args": dict(sample.values),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated seconds x 1e6"},
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, process_name: str = "repro-sim"
+) -> int:
+    """Write the trace JSON to ``path``; returns the event count."""
+    trace = to_chrome_trace(tracer, process_name=process_name)
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def _depth(span: Span, by_id: Dict[int, Span]) -> int:
+    depth = 0
+    current = span
+    while current.parent_id is not None:
+        current = by_id[current.parent_id]
+        depth += 1
+    return depth
+
+
+def render_trace_summary(tracer: Tracer, top: int = 8) -> str:
+    """Category roll-up plus a flame-style view of the span tree."""
+    by_category: Dict[str, List[Span]] = {}
+    for span in tracer.spans:
+        by_category.setdefault(span.category, []).append(span)
+    rows = []
+    for category, spans in sorted(
+        by_category.items(),
+        key=lambda item: -sum(s.duration for s in item[1]),
+    ):
+        durations = [s.duration for s in spans]
+        rows.append(
+            [
+                category,
+                len(spans),
+                sum(durations),
+                sum(durations) / len(durations),
+                max(durations),
+            ]
+        )
+    summary = render_table(
+        ["category", "spans", "total (s)", "mean (s)", "max (s)"],
+        rows,
+        title="Span summary (simulated time)",
+        float_format="{:.6f}",
+    )
+
+    by_id = {s.span_id: s for s in tracer.spans}
+    structural = [
+        s for s in tracer.spans if s.category in ("job", "stage", "wave")
+    ]
+    slowest_work = sorted(
+        (s for s in tracer.spans if s.category in ("task", "attempt")),
+        key=lambda s: -s.duration,
+    )[:top]
+    lines = ["", "Flame view (job/stage/wave, then slowest work):"]
+    for span in structural:
+        indent = "  " * _depth(span, by_id)
+        lines.append(
+            f"  {indent}{span.name:<24s} {span.duration:12.6f} s"
+        )
+    for span in slowest_work:
+        where = span.args.get("node", span.track)
+        lines.append(
+            f"  * {span.name:<22s} {span.duration:12.6f} s  on {where}"
+            f"  [{span.category}]"
+        )
+    if tracer.samples:
+        lines.append(
+            f"  counters: {len(tracer.samples)} samples across "
+            f"{len({s.track for s in tracer.samples})} nodes"
+        )
+    return summary + "\n" + "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Wall-clock phase profiling hooks for the uarch sweep pipeline.
+
+A :class:`PhaseProfiler` times named phases (trace generation, warmup,
+measurement, ...) into a :class:`~repro.obs.metrics.CounterRegistry`.
+Instrumented code calls the module-level :func:`phase` context manager,
+which is a cheap no-op unless a profiler has been installed with
+:func:`set_profiler` — the default-off rule the whole obs layer follows.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.obs.metrics import CounterRegistry
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time and call counts per named phase."""
+
+    def __init__(self, registry: Optional[CounterRegistry] = None):
+        self.registry = registry if registry is not None else CounterRegistry()
+
+    @contextmanager
+    def phase(self, name: str):
+        with self.registry.timer(name):
+            yield
+
+    def seconds(self, name: str) -> float:
+        return self.registry.value(f"{name}.seconds")
+
+    def calls(self, name: str) -> int:
+        return int(self.registry.value(f"{name}.calls"))
+
+    def phases(self) -> List[str]:
+        """Phase names seen so far, sorted."""
+        names = set()
+        for key in self.registry.snapshot():
+            if key.endswith(".seconds"):
+                names.add(key[: -len(".seconds")])
+        return sorted(names)
+
+    def report_lines(self) -> List[str]:
+        """One ``phase: seconds (calls)`` line per phase."""
+        return [
+            f"{name}: {self.seconds(name):.3f}s ({self.calls(name)} calls)"
+            for name in self.phases()
+        ]
+
+
+_ACTIVE: Optional[PhaseProfiler] = None
+
+
+def set_profiler(profiler: Optional[PhaseProfiler]) -> Optional[PhaseProfiler]:
+    """Install (or clear, with ``None``) the active profiler; returns the old one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    return previous
+
+
+def profiler() -> Optional[PhaseProfiler]:
+    """The currently installed profiler, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def phase(name: str):
+    """Time this block under ``name`` if a profiler is installed."""
+    active = _ACTIVE
+    if active is None:
+        yield
+        return
+    with active.phase(name):
+        yield

@@ -1,0 +1,213 @@
+"""Span tracing on the simulated clock.
+
+The paper's methodology is observation: counters, logs and sampled
+system metrics turn opaque executions into explainable behaviour.  The
+tracer is the simulator's equivalent of that measurement substrate — a
+recorder of *spans* (intervals on the simulated clock: job → stage →
+wave → task → attempt, plus per-node compute and I/O operations),
+*instant events* (fault injections, failure detections, retries) and
+*counter samples* (per-node utilization time-series taken by
+:class:`repro.obs.metrics.ClusterTelemetry`).
+
+Everything is default-off: components look up ``sim.tracer`` and skip
+all recording when it is ``None``, so a traced run and an untraced run
+execute the identical event schedule and the fault-free bit-identity
+guarantee of the scheduler is untouched.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Span categories in nesting order (outermost first).  Node-operation
+#: categories ("cpu", "io", "disk", "net") hang off attempts.
+SPAN_CATEGORIES = (
+    "job", "stage", "wave", "task", "attempt", "cpu", "io", "disk", "net",
+)
+
+
+@dataclass
+class Span:
+    """One interval on the simulated clock.
+
+    Attributes:
+        span_id: Unique id within the tracer (monotone in begin order).
+        name: Human-readable label ("map", "task3.attempt1", ...).
+        category: One of :data:`SPAN_CATEGORIES`.
+        track: Timeline the span belongs to — "scheduler" for job/stage/
+            wave, a node name for attempts, ``"<node>.cpu"`` etc. for
+            node operations.  Becomes the Chrome-trace thread.
+        start: Simulated time the span opened.
+        end: Simulated time it closed (None while still open).
+        parent_id: Enclosing span's id (None for the job root).
+        args: Free-form annotations (node, bytes, outcome, cause, ...).
+    """
+
+    span_id: int
+    name: str
+    category: str
+    track: str
+    start: float
+    end: Optional[float] = None
+    parent_id: Optional[int] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0 while open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+@dataclass
+class InstantEvent:
+    """A zero-duration mark on the simulated clock (fault, retry, ...)."""
+
+    name: str
+    category: str
+    track: str
+    time: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CounterSample:
+    """One multi-value counter reading (a Chrome ``ph:"C"`` event)."""
+
+    name: str
+    track: str
+    time: float
+    values: Dict[str, float] = field(default_factory=dict)
+
+
+class Tracer:
+    """Records spans, instants and counter samples against a sim clock.
+
+    The clock is bound lazily (:meth:`bind_clock`) because the tracer is
+    usually constructed before the :class:`~repro.cluster.events.Simulation`
+    it observes.  ``sample_interval`` is the cadence, in simulated
+    seconds, at which the scheduler's telemetry sampler takes per-node
+    utilization readings; ``None`` disables periodic sampling (wave
+    boundaries are always sampled).
+    """
+
+    def __init__(self, sample_interval: Optional[float] = None):
+        if sample_interval is not None and sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sample_interval = sample_interval
+        self.spans: List[Span] = []
+        self.instants: List[InstantEvent] = []
+        self.samples: List[CounterSample] = []
+        self._clock: Optional[Callable[[], float]] = None
+        self._next_id = 0
+
+    # ---- clock -----------------------------------------------------------
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulated-time source (idempotent)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        if self._clock is None:
+            return 0.0
+        return self._clock()
+
+    # ---- spans -----------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        category: str,
+        track: str = "scheduler",
+        parent: Optional[Span] = None,
+        **args: object,
+    ) -> Span:
+        """Open a span at the current simulated time."""
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            track=track,
+            start=self.now,
+            parent_id=parent.span_id if parent is not None else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **args: object) -> Span:
+        """Close ``span`` at the current simulated time."""
+        if span.end is not None:
+            raise RuntimeError(f"span {span.name!r} already ended")
+        span.end = self.now
+        if args:
+            span.args.update(args)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str,
+        track: str = "scheduler",
+        parent: Optional[Span] = None,
+        **args: object,
+    ):
+        """Context manager form of :meth:`begin`/:meth:`end`.
+
+        Only usable around plain (non-yielding) code: a generator that
+        yields to the event loop inside the ``with`` body would close
+        the span at the wrong simulated time on interrupt.
+        """
+        span = self.begin(name, category, track=track, parent=parent, **args)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    # ---- instants and counters ------------------------------------------
+    def instant(
+        self, name: str, category: str, track: str = "scheduler", **args: object
+    ) -> InstantEvent:
+        event = InstantEvent(
+            name=name, category=category, track=track, time=self.now,
+            args=dict(args),
+        )
+        self.instants.append(event)
+        return event
+
+    def sample(
+        self,
+        name: str,
+        track: str,
+        time: Optional[float] = None,
+        **values: float,
+    ) -> CounterSample:
+        sample = CounterSample(
+            name=name,
+            track=track,
+            time=self.now if time is None else time,
+            values=dict(values),
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ---- queries ---------------------------------------------------------
+    def spans_of(self, *categories: str) -> List[Span]:
+        """Spans whose category is one of ``categories``."""
+        wanted = set(categories)
+        return [s for s in self.spans if s.category in wanted]
+
+    def find(self, span_id: int) -> Span:
+        """Lookup by id (ids are assigned densely in begin order)."""
+        span = self.spans[span_id]
+        if span.span_id != span_id:  # pragma: no cover - defensive
+            raise KeyError(span_id)
+        return span
+
+    def open_spans(self) -> List[Span]:
+        """Spans still missing an end time (should be empty after a run)."""
+        return [s for s in self.spans if s.end is None]

@@ -101,6 +101,7 @@ class Hadoop(SoftwareStack):
         dfs: "DistributedFileSystem" = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> WorkloadResult:
         """Execute ``job`` over ``records``.
 
@@ -110,6 +111,8 @@ class Hadoop(SoftwareStack):
         fault plan into the cluster simulation; lost tasks are
         re-executed under ``recovery`` (Hadoop's JobTracker policy by
         default: retries with backoff plus speculative execution).
+        ``tracer`` records the job's span tree and utilization samples
+        (defaults to the cluster simulation's tracer, if any).
         """
         if not records:
             raise ValueError(f"{job.name}: no input records")
@@ -211,7 +214,7 @@ class Hadoop(SoftwareStack):
         if cluster is not None:
             system, elapsed = self._simulate(
                 job, map_task_stats, reduce_task_stats, cluster, dfs,
-                faults=faults, recovery=recovery,
+                faults=faults, recovery=recovery, tracer=tracer,
             )
 
         return WorkloadResult(
@@ -324,6 +327,7 @@ class Hadoop(SoftwareStack):
         dfs: "DistributedFileSystem" = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> tuple:
         """Schedule equivalent task waves on the cluster.
 
@@ -396,5 +400,6 @@ class Hadoop(SoftwareStack):
         metrics = run_waves(
             cluster, [map_wave, reduce_wave], rate,
             faults=faults, policy=recovery,
+            tracer=tracer, job_name=job.name, wave_names=["map", "reduce"],
         )
         return metrics, cluster.sim.now - start

@@ -164,6 +164,7 @@ class HBase(SoftwareStack):
         cluster: Optional[Cluster] = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> WorkloadResult:
         """Issue ``keys`` as client gets; every request crosses the RPC
         and region-server layers (heavy dispatch per record).
@@ -234,7 +235,8 @@ class HBase(SoftwareStack):
             if recovery is None:
                 recovery = policy_for("HBase")
             system = run_waves(
-                cluster, [wave], rate, faults=faults, policy=recovery
+                cluster, [wave], rate, faults=faults, policy=recovery,
+                tracer=tracer, job_name=name, wave_names=["requests"],
             )
             elapsed = cluster.sim.now - start
         return WorkloadResult(

@@ -104,6 +104,7 @@ class MpiRuntime(SoftwareStack):
         cluster: Optional[Cluster] = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> WorkloadResult:
         """Execute ``program(rank, comm, data, meter)`` on every rank.
 
@@ -191,6 +192,7 @@ class MpiRuntime(SoftwareStack):
             system, elapsed = self._simulate(
                 merged, supersteps, net_bytes_total, cluster,
                 faults=faults, recovery=recovery,
+                tracer=tracer, name=name,
             )
 
         return WorkloadResult(
@@ -255,6 +257,8 @@ class MpiRuntime(SoftwareStack):
         cluster: Cluster,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
+        name: str = "mpi-job",
     ) -> tuple:
         rate = self.traits.instruction_rate
         start = cluster.sim.now
@@ -284,6 +288,8 @@ class MpiRuntime(SoftwareStack):
         if recovery is None:
             recovery = policy_for("MPI")
         metrics = run_waves(
-            cluster, waves, rate, faults=faults, policy=recovery
+            cluster, waves, rate, faults=faults, policy=recovery,
+            tracer=tracer, job_name=name,
+            wave_names=[f"superstep{i}" for i in range(n_waves)],
         )
         return metrics, cluster.sim.now - start

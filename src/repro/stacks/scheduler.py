@@ -180,6 +180,7 @@ class _TaskState:
     supervisor: Optional[Process] = None
     primary: Optional[Process] = None
     speculative: Optional[Process] = None
+    span: Optional[object] = None  # the task's tracer span, if tracing
 
 
 @dataclass
@@ -206,6 +207,9 @@ class _WaveScheduler:
         io_chunk_bytes: int,
         faults: Optional[FaultPlan],
         policy: RecoveryPolicy,
+        tracer=None,
+        job_name: str = "job",
+        wave_names: Optional[List[str]] = None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -215,6 +219,18 @@ class _WaveScheduler:
         self.policy = policy
         self.stats = _RecoveryStats()
         self.detected_down: set = set()
+        self.tracer = tracer
+        self.job_name = job_name
+        self.wave_names = wave_names
+        self.telemetry = None
+        self._wave_span = None
+        if tracer is not None:
+            # run_waves may get a tracer the Simulation was not built
+            # with; publish it so node/disk instrumentation sees it and
+            # bind its clock (both idempotent).
+            self.sim.tracer = tracer
+            tracer.bind_clock(lambda: self.sim.now)
+            self.telemetry = cluster.attach_telemetry(tracer)
         self.injector: Optional[FaultInjector] = None
         if faults is not None and not faults.is_empty:
             self.injector = FaultInjector(cluster, faults)
@@ -225,6 +241,13 @@ class _WaveScheduler:
 
     # ---- failure detection ----------------------------------------------
     def _on_node_down(self, node_index: int, cause: str) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node down",
+                "fault",
+                track=self.cluster.node(node_index).name,
+                cause=cause,
+            )
         if self.policy.abort_on_node_loss:
             raise JobFailedError(
                 f"{cause}: the runtime aborts the whole job on node loss"
@@ -236,12 +259,23 @@ class _WaveScheduler:
             yield self.sim.timeout(self.policy.heartbeat_timeout)
             if self.injector is not None and self.injector.is_down(node_index):
                 self.detected_down.add(node_index)
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "failure detected",
+                        "fault",
+                        node=self.cluster.node(node_index).name,
+                        cause=cause,
+                    )
 
         self.sim.process(detect())
 
     def _on_node_up(self, node_index: int) -> None:
         # A rejoining tracker re-registers immediately.
         self.detected_down.discard(node_index)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "node up", "fault", track=self.cluster.node(node_index).name
+            )
 
     # ---- placement -------------------------------------------------------
     def _initial_node(self, task: TaskDescriptor) -> int:
@@ -306,12 +340,43 @@ class _WaveScheduler:
     def _supervise(self, state: _TaskState):
         """One generator per task: launch, await, retry, give up."""
         policy = self.policy
+        tracer = self.tracer
         backoff = policy.retry_backoff
         node_index = state.node
         state.first_launch = self.sim.now
+        if tracer is not None:
+            state.span = tracer.begin(
+                f"task{state.index}", "task", parent=self._wave_span
+            )
+        try:
+            yield from self._supervise_attempts(state, node_index, backoff)
+        finally:
+            if tracer is not None:
+                tracer.end(
+                    state.span,
+                    attempts=state.attempts,
+                    done=state.done,
+                    speculated=state.speculated,
+                )
+
+    def _supervise_attempts(
+        self, state: _TaskState, node_index: int, backoff: float
+    ):
+        policy = self.policy
+        tracer = self.tracer
         while True:
             state.attempts += 1
             started = self.sim.now
+            attempt_span = None
+            if tracer is not None:
+                attempt_span = tracer.begin(
+                    f"task{state.index}.attempt{state.attempts}",
+                    "attempt",
+                    track=self.cluster.node(node_index).name,
+                    parent=state.span,
+                    node=self.cluster.node(node_index).name,
+                    attempt=state.attempts,
+                )
             process = self._launch(state, node_index)
             state.primary = process
             outcome = yield process
@@ -319,9 +384,17 @@ class _WaveScheduler:
             elapsed = self.sim.now - started
             if not isinstance(outcome, Interrupted):
                 # Clean finish: this attempt wins.
+                if attempt_span is not None:
+                    tracer.end(attempt_span, outcome="ok")
                 self.stats.useful_seconds += elapsed
                 self._mark_done(state)
                 return
+            if attempt_span is not None:
+                tracer.end(
+                    attempt_span,
+                    outcome="interrupted",
+                    cause=str(outcome.cause),
+                )
             if state.done:
                 # A speculative duplicate beat this attempt; its watcher
                 # already recorded the win.  The primary's time is waste.
@@ -340,6 +413,14 @@ class _WaveScheduler:
                     f"(last cause: {outcome.cause})"
                 )
             self.stats.tasks_retried += 1
+            if tracer is not None:
+                tracer.instant(
+                    "retry scheduled",
+                    "fault",
+                    task=state.index,
+                    attempt=state.attempts,
+                    cause=str(outcome.cause),
+                )
             # The scheduler only learns of the loss after a heartbeat
             # timeout, then waits out the capped exponential backoff.
             try:
@@ -362,6 +443,24 @@ class _WaveScheduler:
     # ---- speculative execution -------------------------------------------
     def _speculative_attempt(self, state: _TaskState, node_index: int):
         self.stats.speculative_launches += 1
+        tracer = self.tracer
+        attempt_span = None
+        if tracer is not None:
+            node_name = self.cluster.node(node_index).name
+            attempt_span = tracer.begin(
+                f"task{state.index}.speculative",
+                "attempt",
+                track=node_name,
+                parent=state.span,
+                node=node_name,
+                speculative=True,
+            )
+            tracer.instant(
+                "speculation launched",
+                "fault",
+                task=state.index,
+                node=node_name,
+            )
         started = self.sim.now
         process = self._launch(state, node_index)
         state.speculative = process
@@ -370,8 +469,12 @@ class _WaveScheduler:
         elapsed = self.sim.now - started
         if isinstance(outcome, Interrupted) or state.done:
             # Lost the race (or its node died): duplicated work is waste.
+            if attempt_span is not None:
+                tracer.end(attempt_span, outcome="lost race")
             self.stats.wasted_seconds += elapsed
             return
+        if attempt_span is not None:
+            tracer.end(attempt_span, outcome="won race")
         self.stats.useful_seconds += elapsed
         self.stats.speculative_wins += 1
         state.runtime = self.sim.now - state.first_launch
@@ -408,11 +511,59 @@ class _WaveScheduler:
                 state.speculated = True
                 self.sim.process(self._speculative_attempt(state, node_index))
 
+    # ---- telemetry sampling ----------------------------------------------
+    def _sampler(self):
+        """Periodic utilization sampling at the tracer's cadence."""
+        interval = self.tracer.sample_interval
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                self.telemetry.sample()
+        except Interrupted:
+            return
+
+    def _wave_name(self, wave_index: int) -> str:
+        if self.wave_names is not None and wave_index < len(self.wave_names):
+            return self.wave_names[wave_index]
+        return f"wave{wave_index}"
+
     # ---- wave loop -------------------------------------------------------
     def run(self, waves: List[List[TaskDescriptor]]) -> SystemMetrics:
+        tracer = self.tracer
+        job_span = None
+        sampler = None
+        if tracer is not None:
+            job_span = tracer.begin(self.job_name, "job", waves=len(waves))
+            self.telemetry.sample()
+            if tracer.sample_interval is not None:
+                sampler = self.sim.process(self._sampler())
+        try:
+            return self._run_waves(waves, job_span)
+        finally:
+            if tracer is not None:
+                if sampler is not None and not sampler.triggered:
+                    sampler.interrupt("job complete")
+                tracer.end(job_span)
+
+    def _run_waves(self, waves, job_span) -> SystemMetrics:
+        tracer = self.tracer
         for wave_index, wave in enumerate(waves):
             if not wave:
                 continue
+            stage_span = None
+            if tracer is not None:
+                stage_span = tracer.begin(
+                    self._wave_name(wave_index),
+                    "stage",
+                    parent=job_span,
+                    tasks=len(wave),
+                )
+                self._wave_span = tracer.begin(
+                    f"wave{wave_index}",
+                    "wave",
+                    parent=stage_span,
+                    tasks=len(wave),
+                )
             states = []
             for task_index, task in enumerate(wave):
                 states.append(
@@ -435,6 +586,13 @@ class _WaveScheduler:
             self.sim.run(until_event=gate)
             if monitor is not None:
                 monitor.interrupt("wave complete")
+            if tracer is not None:
+                # Wave boundaries are always sampled, even with periodic
+                # sampling disabled, so every stage has a closing point.
+                self.telemetry.sample()
+                tracer.end(self._wave_span)
+                tracer.end(stage_span)
+                self._wave_span = None
             if not gate.triggered:
                 # Reachable when fault injection strands work: report
                 # exactly which tasks were lost (an assert would vanish
@@ -461,6 +619,9 @@ def run_waves(
     io_chunk_bytes: int = 64 * 1024 * 1024,
     faults: Optional[FaultPlan] = None,
     policy: Optional[RecoveryPolicy] = None,
+    tracer=None,
+    job_name: str = "job",
+    wave_names: Optional[List[str]] = None,
 ) -> SystemMetrics:
     """Execute task waves with a barrier between waves.
 
@@ -471,17 +632,31 @@ def run_waves(
     retrying policy; see :func:`policy_for`).  Returns the cluster's
     system metrics at completion, including recovery accounting.
 
+    ``tracer`` (an :class:`repro.obs.Tracer`) records job → stage →
+    wave → task → attempt spans plus per-node utilization samples; it
+    defaults to the simulation's own ``sim.tracer`` so a traced
+    :class:`~repro.cluster.events.Simulation` traces every job run on
+    it without threading the tracer through each engine.  ``job_name``
+    labels the root span and ``wave_names`` the per-wave stage spans.
+    With no tracer the instrumentation records nothing and the event
+    schedule is untouched.
+
     Raises :class:`JobFailedError` when the policy gives up — a task
     exhausts ``max_attempts``, or any node is lost under an
     ``abort_on_node_loss`` (MPI-style) policy.
     """
     if instruction_rate <= 0:
         raise ValueError("instruction_rate must be positive")
+    if tracer is None:
+        tracer = cluster.sim.tracer
     scheduler = _WaveScheduler(
         cluster,
         instruction_rate,
         io_chunk_bytes,
         faults,
         policy if policy is not None else RecoveryPolicy(),
+        tracer=tracer,
+        job_name=job_name,
+        wave_names=wave_names,
     )
     return scheduler.run(waves)

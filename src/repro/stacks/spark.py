@@ -268,12 +268,15 @@ class Spark(SoftwareStack):
         cluster: Optional[Cluster] = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> WorkloadResult:
         """Assemble the WorkloadResult after the driver program ran.
 
         ``faults`` injects an infrastructure fault plan into the
         cluster replay; lost tasks are recomputed from lineage under
         ``recovery`` (Spark's task-retry policy by default).
+        ``tracer`` records the replay's span tree (defaults to the
+        cluster simulation's tracer, if any).
         """
         meter = self._meter
         if output_bytes is None:
@@ -302,7 +305,8 @@ class Spark(SoftwareStack):
         elapsed = None
         if cluster is not None:
             system, elapsed = self._simulate(
-                meter, cluster, faults=faults, recovery=recovery
+                meter, cluster, faults=faults, recovery=recovery,
+                tracer=tracer, name=name,
             )
         return WorkloadResult(
             name=name,
@@ -319,6 +323,8 @@ class Spark(SoftwareStack):
         cluster: Cluster,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
+        name: str = "spark-job",
     ) -> tuple:
         """Replay stages as task waves.
 
@@ -360,7 +366,12 @@ class Spark(SoftwareStack):
             waves.append(wave)
         if recovery is None:
             recovery = policy_for("Spark")
+        stage_names = [
+            f"stage{i} ({stage['kind']})"
+            for i, stage in enumerate(stage_stats)
+        ]
         metrics = run_waves(
-            cluster, waves, rate, faults=faults, policy=recovery
+            cluster, waves, rate, faults=faults, policy=recovery,
+            tracer=tracer, job_name=name, wave_names=stage_names,
         )
         return metrics, cluster.sim.now - start

@@ -135,6 +135,7 @@ class SqlEngine(SoftwareStack):
         cluster: Optional[Cluster] = None,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
     ) -> WorkloadResult:
         """Run ``query`` against ``tables``; returns rows + profile."""
         if query.table not in tables:
@@ -179,6 +180,7 @@ class SqlEngine(SoftwareStack):
             system, elapsed = self._simulate(
                 meter, shuffle_events, cluster,
                 faults=faults, recovery=recovery,
+                tracer=tracer, name=name,
             )
         return WorkloadResult(
             name=name,
@@ -291,6 +293,8 @@ class SqlEngine(SoftwareStack):
         cluster: Cluster,
         faults: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
+        tracer=None,
+        name: str = "query",
     ) -> tuple:
         rate = self.traits.instruction_rate
         start = cluster.sim.now
@@ -326,8 +330,12 @@ class SqlEngine(SoftwareStack):
             )
         if recovery is None:
             recovery = policy_for(self.recovery_stack)
+        wave_names = ["scan"] + [
+            f"exchange{i}" for i in range(len(shuffle_events))
+        ]
         metrics = run_waves(
-            cluster, waves, rate, faults=faults, policy=recovery
+            cluster, waves, rate, faults=faults, policy=recovery,
+            tracer=tracer, job_name=name, wave_names=wave_names,
         )
         return metrics, cluster.sim.now - start
 

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.profiler import phase
 from repro.uarch.cache import CacheConfig, SetAssociativeCache
 from repro.uarch.profile import CodeFootprint, DataFootprint
 from repro.uarch.trace import generate_data_trace, generate_fetch_trace
@@ -94,9 +95,11 @@ class CacheSweepSimulator:
             cache = SetAssociativeCache(
                 CacheConfig(f"L1@{size_kb}KB", size_kb * 1024, ways=self.ways)
             )
-            cache.run(warm)
+            with phase("uarch.warmup"):
+                cache.run(warm)
             cache.reset_stats()
-            cache.run(measured)
+            with phase("uarch.measure"):
+                cache.run(measured)
             ratios.append(cache.miss_ratio)
         return SweepResult(name=name, sizes_kb=list(self.sizes_kb), miss_ratios=ratios)
 
@@ -104,12 +107,18 @@ class CacheSweepSimulator:
         self, name: str, footprint: CodeFootprint
     ) -> SweepResult:
         """Instruction-cache miss ratio versus capacity (Figures 6, 9)."""
-        trace = generate_fetch_trace(footprint, 2 * self.trace_refs, seed=self.seed)
+        with phase("uarch.trace-gen"):
+            trace = generate_fetch_trace(
+                footprint, 2 * self.trace_refs, seed=self.seed
+            )
         return self._sweep(name, trace)
 
     def data_curve(self, name: str, data: DataFootprint) -> SweepResult:
         """Data-cache miss ratio versus capacity (Figure 7)."""
-        trace = generate_data_trace(data, 2 * self.trace_refs, seed=self.seed + 1)
+        with phase("uarch.trace-gen"):
+            trace = generate_data_trace(
+                data, 2 * self.trace_refs, seed=self.seed + 1
+            )
         return self._sweep(name, trace)
 
     def unified_curve(
@@ -129,14 +138,15 @@ class CacheSweepSimulator:
         total = 2 * self.trace_refs
         n_fetch = int(total * fetch_share)
         n_data = total - n_fetch
-        fetch = generate_fetch_trace(footprint, n_fetch, seed=self.seed)
-        data_trace = generate_data_trace(data, n_data, seed=self.seed + 1)
-        rng = np.random.default_rng(self.seed + 2)
-        merged = np.empty(total, dtype=np.int64)
-        is_fetch = np.zeros(total, dtype=bool)
-        is_fetch[rng.choice(total, size=n_fetch, replace=False)] = True
-        merged[is_fetch] = fetch
-        merged[~is_fetch] = data_trace
+        with phase("uarch.trace-gen"):
+            fetch = generate_fetch_trace(footprint, n_fetch, seed=self.seed)
+            data_trace = generate_data_trace(data, n_data, seed=self.seed + 1)
+            rng = np.random.default_rng(self.seed + 2)
+            merged = np.empty(total, dtype=np.int64)
+            is_fetch = np.zeros(total, dtype=bool)
+            is_fetch[rng.choice(total, size=n_fetch, replace=False)] = True
+            merged[is_fetch] = fetch
+            merged[~is_fetch] = data_trace
         return self._sweep(name, merged)
 
     @staticmethod

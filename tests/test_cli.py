@@ -22,6 +22,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "S-WordCount", "--platform", "m1"])
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "S-WordCount"])
+        assert args.command == "trace"
+        assert args.out == "trace.json"
+        assert args.sample_interval is None
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "S-WordCount", "--out", "t.json", "--sample-interval", "0.05"]
+        )
+        assert args.out == "t.json"
+        assert args.sample_interval == 0.05
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -52,3 +65,24 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "Nope"])
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["--scale", "0.2", "run", "H-Grep", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "H-Grep"
+        assert "l1i_mpki" in payload["metrics"]
+
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["--scale", "0.2", "trace", "S-WordCount",
+             "--out", str(out), "--sample-interval", "0.05"]
+        ) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        trace = json.loads(out.read_text())
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
