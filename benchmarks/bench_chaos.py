@@ -1,0 +1,32 @@
+"""Chaos soak: invariant-audited fault campaigns on the simulator.
+
+One seeded campaign sweeps randomized fault scenarios across a
+workload x stack slice while the invariant auditor checks byte/CPU
+conservation, leak-freedom and clock monotonicity from inside the
+simulation.  The bench times a bounded soak and asserts every audited
+case comes back clean — the robustness contract behind the paper's
+fault-injected numbers.
+"""
+
+from conftest import run_once
+
+from repro.experiments import chaos_soak
+
+
+def test_chaos_soak(benchmark, ctx):
+    result = run_once(
+        benchmark, chaos_soak.run, ctx, seeds=2, workloads=("wordcount",)
+    )
+    print()
+    print(result.render())
+    assert result.clean, [
+        violation.to_dict()
+        for campaign in result.campaigns
+        for case in campaign.cases
+        for violation in case.violations
+    ]
+    assert result.n_cases == 2 * 3  # 2 seeds x (1 workload x 3 stacks)
+    outcomes = {
+        case.outcome for campaign in result.campaigns for case in campaign.cases
+    }
+    assert "recovered" in outcomes  # the deep stacks rode out their faults

@@ -1,0 +1,49 @@
+"""Chaos engineering for the simulator itself.
+
+``repro.chaos`` stress-tests the discrete-event substrate the paper's
+numbers rest on: seeded fault campaigns sweep randomized
+:class:`~repro.cluster.faults.FaultPlan` scenarios across the
+workload x stack matrix while an :class:`InvariantAuditor` checks
+conservation laws and structural invariants from inside the
+simulation.  Violating plans are minimised by :func:`shrink_plan` and
+pinned to replay files for deterministic reproduction
+(``repro chaos --replay``).
+"""
+
+from repro.chaos.audit import InvariantAuditor, Violation
+from repro.chaos.campaign import (
+    CampaignResult,
+    CaseResult,
+    ChaosCase,
+    SCENARIOS,
+    STACKS,
+    WORKLOADS,
+    generate_campaign,
+    make_plan,
+    run_campaign,
+    run_case,
+    run_plan,
+)
+from repro.chaos.replay import load_replay, replay_to_dict, save_replay
+from repro.chaos.shrink import shrink_plan, violation_signature
+
+__all__ = [
+    "CampaignResult",
+    "CaseResult",
+    "ChaosCase",
+    "InvariantAuditor",
+    "SCENARIOS",
+    "STACKS",
+    "Violation",
+    "WORKLOADS",
+    "generate_campaign",
+    "load_replay",
+    "make_plan",
+    "replay_to_dict",
+    "run_campaign",
+    "run_case",
+    "run_plan",
+    "save_replay",
+    "shrink_plan",
+    "violation_signature",
+]

@@ -1,0 +1,389 @@
+"""Runtime invariant auditing for the discrete-event substrate.
+
+The paper's system-behaviour results are only trustworthy if the
+simulator conserves work under every interleaving of faults.  The
+:class:`InvariantAuditor` watches one simulation from the inside —
+``events.py`` registers processes and resources with it and reports
+every event timestamp, ``disk.py`` reports interrupted transfers, and
+the wave scheduler keeps a per-task commit ledger — and checks the
+catalogue below at fault boundaries, at job end and after the final
+drain.
+
+Invariant catalogue (the ``invariant`` field of each
+:class:`Violation`):
+
+- ``task-commit-once`` — every logical task completes exactly once per
+  wave: a zero count is lost work, two is double-counted work (e.g. a
+  speculative duplicate and its primary both credited).
+- ``byte-conservation-disk`` — total disk bytes equal the committed
+  task bytes exactly on an interruption-free run, and stay within
+  ``[committed, committed + waste-bound]`` under faults (the waste
+  bound sums the full demand of every killed or race-losing attempt).
+- ``byte-conservation-net`` — the same conservation law over NIC bytes.
+- ``cpu-conservation`` — the same law over CPU seconds (with float
+  tolerance: CPU time accumulates, it is not counted).
+- ``disk-partial-credit`` — an interrupted transfer may never be
+  credited more bytes than bandwidth x elapsed time allows (nor a
+  negative count, nor more than requested).
+- ``resource-leak`` — after the final drain no resource holds a grant
+  and no waiter is stranded in any FIFO.
+- ``stranded-process`` — after the final drain every process has
+  triggered (completed or unwound); anything else leaks simulation
+  state into the next run.
+- ``clock-monotonic`` — event timestamps never decrease.
+- ``telemetry-consistency`` — when a utilization timeline was sampled,
+  its closing totals are bit-identical to the live node counters.
+- ``metrics-sanity`` — reported :class:`SystemMetrics` are internally
+  coherent (ratios within [0, 1], wins never exceed launches, ...).
+
+The auditor *collects* violations rather than raising mid-simulation
+(``strict=True`` opts into raising immediately), so a single chaos run
+reports every broken invariant at once and the shrinker can compare
+violation signatures across candidate plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvariantViolation
+
+#: Relative tolerance for float (CPU-second) conservation checks.
+_REL_TOL = 1e-9
+#: Interrupted transfers may round partial credit up by at most one byte.
+_BYTE_SLACK = 1
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with enough context to reproduce it."""
+
+    invariant: str
+    detail: str
+    time: float
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "time": self.time,
+        }
+
+
+@dataclass
+class _JobLedger:
+    """Byte/record accounting for one ``run_waves`` job."""
+
+    expected_tasks: Dict[Tuple[int, int], Tuple[int, int, float]] = field(
+        default_factory=dict
+    )  # (wave, task) -> (disk_bytes, net_bytes, cpu_seconds)
+    commits: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    committed_disk: int = 0
+    committed_net: int = 0
+    committed_cpu: float = 0.0
+    waste_disk: int = 0
+    waste_net: int = 0
+    waste_cpu: float = 0.0
+    interrupted_attempts: int = 0
+    start_disk_bytes: int = 0
+    start_net_bytes: int = 0
+    start_cpu_seconds: float = 0.0
+
+
+class InvariantAuditor:
+    """Watches one :class:`~repro.cluster.events.Simulation` for broken
+    invariants.  Attach it at construction (``Simulation(auditor=...)``)
+    so every process and resource registers itself."""
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self._processes: List[object] = []
+        self._resources: List[object] = []
+        self._last_time: Optional[float] = None
+        self._now = 0.0
+        self._ledger: Optional[_JobLedger] = None
+        self._cluster = None
+        self._wave_open: Optional[int] = None
+
+    # ---- recording -------------------------------------------------------
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def record(self, invariant: str, detail: str) -> None:
+        violation = Violation(invariant=invariant, detail=detail, time=self._now)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(
+                f"{invariant}: {detail}",
+                violations=self.violations,
+                time=self._now,
+            )
+
+    # ---- events.py hooks -------------------------------------------------
+    def register_process(self, process) -> None:
+        self._processes.append(process)
+
+    def register_resource(self, resource) -> None:
+        self._resources.append(resource)
+
+    def observe_time(self, time: float) -> None:
+        if self._last_time is not None and time < self._last_time:
+            self.record(
+                "clock-monotonic",
+                f"event at t={time} after t={self._last_time}",
+            )
+        self._last_time = time
+        self._now = time
+
+    # ---- disk.py hook ----------------------------------------------------
+    def observe_disk_interrupt(
+        self,
+        disk_name: str,
+        nbytes: int,
+        credited: int,
+        elapsed: float,
+        duration: float,
+    ) -> None:
+        """An in-flight transfer was killed; check the partial credit.
+
+        Credited bytes are bounded by physics: no more than
+        bandwidth x elapsed (here expressed as the time fraction of the
+        request), never negative, never more than requested.
+        """
+        allowed = nbytes if duration <= 0 else nbytes * elapsed / duration
+        if credited < 0 or credited > min(nbytes, allowed + _BYTE_SLACK):
+            self.record(
+                "disk-partial-credit",
+                f"{disk_name}: credited {credited} of {nbytes} bytes but "
+                f"only {elapsed:.3g}s of a {duration:.3g}s transfer elapsed",
+            )
+
+    # ---- scheduler hooks -------------------------------------------------
+    def begin_job(self, cluster) -> None:
+        """Snapshot cluster counters; expected work arrives per wave."""
+        self._cluster = cluster
+        totals = cluster.direct_totals(peek=True)
+        self._ledger = _JobLedger(
+            start_disk_bytes=totals.disk_bytes,
+            start_net_bytes=totals.net_bytes,
+            start_cpu_seconds=totals.cpu_seconds,
+        )
+
+    def begin_wave(self, wave_index: int, tasks, instruction_rate: float) -> None:
+        if self._ledger is None:
+            return
+        self._wave_open = wave_index
+        for task_index, task in enumerate(tasks):
+            self._ledger.expected_tasks[(wave_index, task_index)] = (
+                task.read_bytes + task.write_bytes,
+                task.net_bytes,
+                task.cpu_instructions / instruction_rate,
+            )
+
+    def attempt_settled(self, wave_index: int, task_index: int, committed: bool) -> None:
+        """One task attempt finished: count it as useful or as waste."""
+        ledger = self._ledger
+        if ledger is None:
+            return
+        disk, net, cpu = ledger.expected_tasks.get(
+            (wave_index, task_index), (0, 0, 0.0)
+        )
+        if committed:
+            key = (wave_index, task_index)
+            ledger.commits[key] = ledger.commits.get(key, 0) + 1
+            ledger.committed_disk += disk
+            ledger.committed_net += net
+            ledger.committed_cpu += cpu
+        else:
+            ledger.interrupted_attempts += 1
+            ledger.waste_disk += disk
+            ledger.waste_net += net
+            ledger.waste_cpu += cpu
+
+    def end_wave(self, wave_index: int) -> None:
+        """Every task in the wave must have committed exactly once."""
+        ledger = self._ledger
+        if ledger is None:
+            return
+        self._wave_open = None
+        for (wave, task), _ in sorted(ledger.expected_tasks.items()):
+            if wave != wave_index:
+                continue
+            commits = ledger.commits.get((wave, task), 0)
+            if commits != 1:
+                kind = "lost (never committed)" if commits == 0 else (
+                    f"double-counted ({commits} commits)"
+                )
+                self.record(
+                    "task-commit-once",
+                    f"wave {wave} task {task} was {kind}",
+                )
+
+    def fault_boundary(self, node_index: int, up: bool) -> None:
+        """Cheap structural checks at the instant a fault lands/heals."""
+        for resource in self._resources:
+            if not 0 <= resource.in_use <= resource.capacity:
+                self.record(
+                    "resource-leak",
+                    f"{resource.name}: in_use={resource.in_use} outside "
+                    f"[0, {resource.capacity}] at fault boundary "
+                    f"(node {node_index} {'up' if up else 'down'})",
+                )
+
+    def end_job(self, cluster, metrics=None) -> None:
+        """Conservation and consistency checks at ``run_waves`` return."""
+        ledger = self._ledger
+        if ledger is None:
+            return
+        totals = cluster.direct_totals(peek=True)
+        faulted = ledger.interrupted_attempts > 0
+        self._check_conservation(
+            "byte-conservation-disk",
+            actual=totals.disk_bytes - ledger.start_disk_bytes,
+            committed=ledger.committed_disk,
+            waste_bound=ledger.waste_disk,
+            faulted=faulted,
+            slack=0,
+        )
+        # A transfer credits both the sending and receiving NIC.
+        self._check_conservation(
+            "byte-conservation-net",
+            actual=totals.net_bytes - ledger.start_net_bytes,
+            committed=2 * ledger.committed_net if len(cluster) > 1 else 0,
+            waste_bound=2 * ledger.waste_net,
+            faulted=faulted,
+            slack=0,
+        )
+        cpu_slack = _REL_TOL * max(1.0, ledger.committed_cpu + ledger.waste_cpu)
+        self._check_conservation(
+            "cpu-conservation",
+            actual=totals.cpu_seconds - ledger.start_cpu_seconds,
+            committed=ledger.committed_cpu,
+            waste_bound=ledger.waste_cpu,
+            faulted=faulted,
+            slack=cpu_slack,
+        )
+        if cluster.telemetry is not None:
+            timeline_totals = cluster.telemetry.timeline.final_totals(
+                [node.name for node in cluster.nodes]
+            )
+            if timeline_totals != totals:
+                self.record(
+                    "telemetry-consistency",
+                    f"timeline totals {timeline_totals} != live counters "
+                    f"{totals}",
+                )
+        if metrics is not None:
+            self._check_metrics(metrics)
+        self._ledger = None
+
+    def _check_conservation(
+        self,
+        invariant: str,
+        actual,
+        committed,
+        waste_bound,
+        faulted: bool,
+        slack,
+    ) -> None:
+        if not faulted:
+            # No attempt was ever interrupted: committed work is the
+            # whole story and the accounting must balance exactly.
+            upper = committed + waste_bound + slack
+            if not committed - slack <= actual <= upper:
+                self.record(
+                    invariant,
+                    f"fault-free run moved {actual} but tasks committed "
+                    f"{committed} (+{waste_bound} lost races)",
+                )
+            return
+        if actual < committed - slack:
+            self.record(
+                invariant,
+                f"moved {actual} < committed {committed}: completed work "
+                f"went missing",
+            )
+        elif actual > committed + waste_bound + slack:
+            self.record(
+                invariant,
+                f"moved {actual} > committed {committed} + waste bound "
+                f"{waste_bound}: work was double-counted",
+            )
+
+    def _check_metrics(self, metrics) -> None:
+        ratios = (
+            ("cpu_utilization", metrics.cpu_utilization),
+            ("io_wait_ratio", metrics.io_wait_ratio),
+            ("wasted_work_ratio", metrics.wasted_work_ratio),
+        )
+        for name, value in ratios:
+            if not 0.0 <= value <= 1.0:
+                self.record(
+                    "metrics-sanity", f"{name}={value} outside [0, 1]"
+                )
+        if metrics.elapsed < 0:
+            self.record("metrics-sanity", f"elapsed={metrics.elapsed} < 0")
+        if metrics.speculative_wins > metrics.speculative_launches:
+            self.record(
+                "metrics-sanity",
+                f"{metrics.speculative_wins} speculative wins from only "
+                f"{metrics.speculative_launches} launches",
+            )
+
+    # ---- final drain checks ---------------------------------------------
+    def check_drained(self, sim, cluster=None, aborted: bool = False) -> None:
+        """After the queue drains: no leaked grants, no live processes.
+
+        Call only once the caller has drained the simulation
+        (``sim.run()`` past any completion gate) — a mid-run call would
+        report in-flight work as leaks.  ``aborted=True`` (the job died
+        with :class:`~repro.errors.JobFailedError`) skips the
+        process-liveness check: a supervisor that raised the abort
+        legitimately never triggers, but grants must still have been
+        released on the way out.
+        """
+        if sim._queue:
+            self.record(
+                "stranded-process",
+                f"check_drained called with {len(sim._queue)} events "
+                f"still queued",
+            )
+            return
+        for resource in self._resources:
+            if resource.in_use or resource.waiters:
+                self.record(
+                    "resource-leak",
+                    f"{resource.name}: {resource.in_use} grants held, "
+                    f"{resource.waiters} waiters stranded after drain",
+                )
+        if cluster is not None:
+            for leak in cluster.leak_report():
+                if leak["kind"] != "disk-inflight":
+                    continue  # channel leaks already covered above
+                self.record(
+                    "resource-leak",
+                    f"{leak['resource']}: {leak['in_use']} I/O requests "
+                    f"still in flight after drain",
+                )
+        if aborted:
+            return
+        live = [p for p in self._processes if not p.triggered]
+        if live:
+            self.record(
+                "stranded-process",
+                f"{len(live)} of {len(self._processes)} processes never "
+                f"completed after drain",
+            )
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`~repro.errors.InvariantViolation` on any finding."""
+        if self.violations:
+            first = self.violations[0]
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s); first: "
+                f"{first.invariant}: {first.detail}",
+                violations=self.violations,
+            )

@@ -1,0 +1,376 @@
+"""Seeded chaos campaigns across the workload x stack matrix.
+
+A *campaign* is derived entirely from one integer seed: for every
+(workload, stack) cell in the matrix it draws a fault *scenario* — a
+crash storm, a rolling disk degradation, a flapping network partition,
+or a crash landing during another node's recovery window — and
+instantiates it as a concrete, valid :class:`FaultPlan` timed against
+that cell's fault-free makespan.  Each case then runs on a fresh
+audited simulation and the :class:`InvariantAuditor`'s findings are the
+verdict: the *job* may recover or abort (both are legitimate stack
+behaviours under fire), but the *simulator* must never break an
+invariant.
+
+The same seed always reproduces the same campaign, the same plans and
+the same verdicts — which is what lets the shrinker and the
+``--replay`` flow bisect a violation offline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.audit import InvariantAuditor, Violation
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import Simulation
+from repro.cluster.faults import (
+    DiskDegrade,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.errors import InvariantViolation, JobFailedError
+from repro.stacks.scheduler import policy_for
+from repro.workloads.kernels import (
+    hadoop_grep,
+    hadoop_sort,
+    hadoop_wordcount,
+    mpi_grep,
+    mpi_sort,
+    mpi_wordcount,
+    spark_grep,
+    spark_sort,
+    spark_wordcount,
+)
+
+#: The workload x stack matrix the campaign sweeps (§4.1's algorithms
+#: in their Hadoop/Spark/MPI incarnations).
+WORKLOADS: Dict[str, Dict[str, Callable]] = {
+    "wordcount": {
+        "Hadoop": hadoop_wordcount,
+        "Spark": spark_wordcount,
+        "MPI": mpi_wordcount,
+    },
+    "grep": {
+        "Hadoop": hadoop_grep,
+        "Spark": spark_grep,
+        "MPI": mpi_grep,
+    },
+    "sort": {
+        "Hadoop": hadoop_sort,
+        "Spark": spark_sort,
+        "MPI": mpi_sort,
+    },
+}
+
+STACKS: Tuple[str, ...] = ("Hadoop", "Spark", "MPI")
+
+#: Same convention as ``experiments.fault_resilience``: recovery-policy
+#: clocks written for minutes-long jobs are shrunk to
+#: ``baseline_makespan / POLICY_TIME_UNIT``.
+POLICY_TIME_UNIT = 100.0
+
+N_NODES = 5
+
+#: Maximum supervisor generators a drain loop may unwind; each
+#: ``JobFailedError`` raised during the drain kills exactly one, so any
+#: real job hits the fixpoint long before this.
+_MAX_DRAIN_ROUNDS = 1000
+
+
+# --------------------------------------------------------------------------
+# Scenario generators: rng -> tuple of faults (always a valid plan)
+# --------------------------------------------------------------------------
+
+def _crash_storm(rng: random.Random, n_nodes: int, horizon: float):
+    """Two distinct nodes die mid-job; each may or may not come back."""
+    faults = []
+    for node in rng.sample(range(n_nodes), 2):
+        at = rng.uniform(0.15, 0.6) * horizon
+        recover_at = (
+            at + rng.uniform(0.3, 0.8) * horizon
+            if rng.random() < 0.5 else None
+        )
+        faults.append(NodeCrash(node=node, at=at, recover_at=recover_at))
+    return tuple(faults)
+
+
+def _rolling_degrade(rng: random.Random, n_nodes: int, horizon: float):
+    """Three disks slow down in a staggered wave of straggler windows."""
+    faults = []
+    start = 0.1 * horizon
+    for node in rng.sample(range(n_nodes), 3):
+        at = start + rng.uniform(0.0, 0.15) * horizon
+        faults.append(
+            DiskDegrade(
+                node=node,
+                at=at,
+                factor=rng.uniform(3.0, 6.0),
+                until=at + rng.uniform(0.3, 0.6) * horizon,
+            )
+        )
+        start = at + 0.2 * horizon
+    return tuple(faults)
+
+
+def _partition_flap(rng: random.Random, n_nodes: int, horizon: float):
+    """One node's link flaps: partitioned, healed, partitioned again."""
+    node = rng.randrange(n_nodes)
+    faults = []
+    at = rng.uniform(0.15, 0.3) * horizon
+    for _ in range(2):
+        until = at + rng.uniform(0.1, 0.25) * horizon
+        faults.append(NetworkPartition(nodes=(node,), at=at, until=until))
+        at = until + rng.uniform(0.1, 0.3) * horizon
+    return tuple(faults)
+
+
+def _crash_during_recovery(rng: random.Random, n_nodes: int, horizon: float):
+    """A second node dies while the first is still down-but-recovering."""
+    first, second = rng.sample(range(n_nodes), 2)
+    t_down = rng.uniform(0.15, 0.35) * horizon
+    t_up = t_down + rng.uniform(0.5, 0.9) * horizon
+    t_second = rng.uniform(t_down + 0.05 * horizon, t_up - 0.05 * horizon)
+    return (
+        NodeCrash(node=first, at=t_down, recover_at=t_up),
+        NodeCrash(
+            node=second,
+            at=t_second,
+            recover_at=t_second + rng.uniform(0.2, 0.4) * horizon,
+        ),
+    )
+
+
+SCENARIOS: Dict[str, Callable] = {
+    "crash-storm": _crash_storm,
+    "rolling-degrade": _rolling_degrade,
+    "partition-flap": _partition_flap,
+    "crash-during-recovery": _crash_during_recovery,
+}
+
+
+def make_plan(
+    scenario: str, seed_key: str, n_nodes: int, horizon: float
+) -> FaultPlan:
+    """Instantiate ``scenario`` as a concrete plan, seeded by ``seed_key``."""
+    if scenario not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        )
+    rng = random.Random(seed_key)
+    return FaultPlan(faults=SCENARIOS[scenario](rng, n_nodes, horizon))
+
+
+# --------------------------------------------------------------------------
+# Cases and results
+# --------------------------------------------------------------------------
+
+@dataclass
+class ChaosCase:
+    """One cell of one campaign: a workload, a stack, a scenario."""
+
+    workload: str
+    stack: str
+    scenario: str
+    seed: int
+    plan: Optional[FaultPlan] = None  # filled once the horizon is known
+
+    @property
+    def seed_key(self) -> str:
+        """The deterministic rng key for this case's plan."""
+        return f"{self.seed}:{self.workload}:{self.stack}:{self.scenario}"
+
+
+@dataclass
+class CaseResult:
+    """Verdict of one audited case run."""
+
+    case: ChaosCase
+    outcome: str  # "recovered" | "aborted" | "stranded"
+    violations: List[Violation] = field(default_factory=list)
+    failure: str = ""
+    elapsed: float = 0.0
+    tasks_retried: int = 0
+    faults_injected: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.case.workload,
+            "stack": self.case.stack,
+            "scenario": self.case.scenario,
+            "seed": self.case.seed,
+            "outcome": self.outcome,
+            "failure": self.failure,
+            "elapsed": self.elapsed,
+            "tasks_retried": self.tasks_retried,
+            "faults_injected": self.faults_injected,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+@dataclass
+class CampaignResult:
+    """All case verdicts for one campaign seed."""
+
+    seed: int
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(case.clean for case in self.cases)
+
+    @property
+    def dirty_cases(self) -> List[CaseResult]:
+        return [case for case in self.cases if not case.clean]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "clean": self.clean,
+            "cases": [case.to_dict() for case in self.cases],
+        }
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+#: Fault-free makespans are deterministic per (workload, stack, scale),
+#: so one baseline run serves every campaign in a process.
+_BASELINE_CACHE: Dict[Tuple[str, str, float], float] = {}
+
+
+def baseline_elapsed(workload: str, stack: str, scale: float) -> float:
+    """Fault-free makespan for one matrix cell (memoised)."""
+    key = (workload, stack, scale)
+    if key not in _BASELINE_CACHE:
+        runner = WORKLOADS[workload][stack]
+        result = runner(scale, cluster=Cluster(n_nodes=N_NODES))
+        _BASELINE_CACHE[key] = result.system.elapsed
+    return _BASELINE_CACHE[key]
+
+
+def run_plan(
+    workload: str,
+    stack: str,
+    plan: FaultPlan,
+    scale: float = 0.3,
+    case: Optional[ChaosCase] = None,
+) -> CaseResult:
+    """Run one (workload, stack) cell under ``plan`` on a fresh audited
+    simulation; the shared executor behind cases, the shrinker's
+    predicate and ``--replay``.
+    """
+    if case is None:
+        case = ChaosCase(
+            workload=workload, stack=stack, scenario="explicit", seed=-1,
+            plan=plan,
+        )
+    runner = WORKLOADS[workload][stack]
+    baseline = baseline_elapsed(workload, stack, scale)
+    policy = policy_for(stack).scaled(baseline / POLICY_TIME_UNIT)
+    auditor = InvariantAuditor()
+    sim = Simulation(auditor=auditor)
+    cluster = Cluster(sim=sim, n_nodes=N_NODES)
+    outcome, failure = "recovered", ""
+    elapsed = retried = injected = 0
+    try:
+        result = runner(
+            scale, cluster=cluster, faults=plan, recovery=policy
+        )
+        elapsed = result.system.elapsed
+        retried = result.system.tasks_retried
+        injected = result.system.faults_injected
+    except JobFailedError as exc:
+        # A legitimate stack response (MPI aborts on any node loss, deep
+        # stacks abort after max_attempts) — not a simulator bug.
+        outcome, failure = "aborted", str(exc)
+    except InvariantViolation as exc:
+        # The scheduler itself detected stranded work mid-run.
+        outcome, failure = "stranded", str(exc)
+        auditor.record("wave-drain", str(exc))
+    # Drain residual fault timers, detectors and backoff sleeps so the
+    # leak checks see a quiescent simulation.  Each JobFailedError
+    # raised during the drain unwinds exactly one more supervisor.
+    aborted = outcome == "aborted"
+    for _ in range(_MAX_DRAIN_ROUNDS):
+        try:
+            sim.run()
+            break
+        except JobFailedError:
+            aborted = True
+        except InvariantViolation as exc:
+            auditor.record("wave-drain", str(exc))
+    auditor.check_drained(sim, cluster, aborted=aborted)
+    return CaseResult(
+        case=case,
+        outcome=outcome,
+        violations=list(auditor.violations),
+        failure=failure,
+        elapsed=elapsed,
+        tasks_retried=retried,
+        faults_injected=injected,
+    )
+
+
+def run_case(case: ChaosCase, scale: float = 0.3) -> CaseResult:
+    """Instantiate the case's plan against its baseline horizon and run."""
+    horizon = baseline_elapsed(case.workload, case.stack, scale)
+    case.plan = make_plan(case.scenario, case.seed_key, N_NODES, horizon)
+    return run_plan(case.workload, case.stack, case.plan, scale, case=case)
+
+
+def generate_campaign(
+    seed: int,
+    workloads: Optional[Sequence[str]] = None,
+    stacks: Optional[Sequence[str]] = None,
+) -> List[ChaosCase]:
+    """Derive one campaign's cases from ``seed``.
+
+    Every (workload, stack) cell gets one scenario, chosen by an rng
+    keyed to the campaign seed and the cell — so consecutive seeds
+    rotate scenarios through the matrix and 20 seeds cover every
+    scenario on every cell many times over.
+    """
+    names = sorted(SCENARIOS)
+    cases = []
+    for workload in workloads if workloads is not None else sorted(WORKLOADS):
+        if workload not in WORKLOADS:
+            raise KeyError(
+                f"unknown workload {workload!r}; "
+                f"choose from {sorted(WORKLOADS)}"
+            )
+        for stack in stacks if stacks is not None else STACKS:
+            if stack not in STACKS:
+                raise KeyError(
+                    f"unknown stack {stack!r}; choose from {STACKS}"
+                )
+            rng = random.Random(f"campaign:{seed}:{workload}:{stack}")
+            cases.append(
+                ChaosCase(
+                    workload=workload,
+                    stack=stack,
+                    scenario=rng.choice(names),
+                    seed=seed,
+                )
+            )
+    return cases
+
+
+def run_campaign(
+    seed: int,
+    workloads: Optional[Sequence[str]] = None,
+    stacks: Optional[Sequence[str]] = None,
+    scale: float = 0.3,
+) -> CampaignResult:
+    """Run every case of the campaign derived from ``seed``."""
+    result = CampaignResult(seed=seed)
+    for case in generate_campaign(seed, workloads, stacks):
+        result.cases.append(run_case(case, scale=scale))
+    return result

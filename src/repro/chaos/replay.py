@@ -1,0 +1,126 @@
+"""Replay files: serialise a violating chaos case and re-run it.
+
+A replay file is a small JSON document pinning everything a violation
+needs to reproduce: the workload, the stack, the scale, and the (ideally
+shrunken) fault plan.  Because the simulator is deterministic, loading
+the file and re-running it yields the identical violation — or, after a
+fix, a clean audit, which is exactly what ``repro chaos --replay``
+exits 0 on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.cluster.faults import (
+    DiskDegrade,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.errors import FaultPlanError
+
+#: Bumped if the schema ever changes incompatibly.
+FORMAT_VERSION = 1
+
+
+def fault_to_dict(fault) -> dict:
+    if isinstance(fault, NodeCrash):
+        return {
+            "kind": "crash",
+            "node": fault.node,
+            "at": fault.at,
+            "recover_at": fault.recover_at,
+        }
+    if isinstance(fault, DiskDegrade):
+        return {
+            "kind": "degrade",
+            "node": fault.node,
+            "at": fault.at,
+            "factor": fault.factor,
+            "until": fault.until,
+        }
+    if isinstance(fault, NetworkPartition):
+        return {
+            "kind": "partition",
+            "nodes": list(fault.nodes),
+            "at": fault.at,
+            "until": fault.until,
+        }
+    raise FaultPlanError(f"unserialisable fault {type(fault).__name__!r}")
+
+
+def fault_from_dict(entry: dict):
+    kind = entry.get("kind")
+    if kind == "crash":
+        return NodeCrash(
+            node=entry["node"], at=entry["at"],
+            recover_at=entry.get("recover_at"),
+        )
+    if kind == "degrade":
+        return DiskDegrade(
+            node=entry["node"], at=entry["at"], factor=entry["factor"],
+            until=entry.get("until"),
+        )
+    if kind == "partition":
+        return NetworkPartition(
+            nodes=tuple(entry["nodes"]), at=entry["at"], until=entry["until"],
+        )
+    raise FaultPlanError(f"unknown fault kind {kind!r} in replay file")
+
+
+def plan_to_dict(plan: FaultPlan) -> dict:
+    return {
+        "seed": plan.seed,
+        "faults": [fault_to_dict(fault) for fault in plan.faults],
+    }
+
+
+def plan_from_dict(data: dict) -> FaultPlan:
+    return FaultPlan(
+        faults=tuple(fault_from_dict(entry) for entry in data["faults"]),
+        seed=data.get("seed"),
+    )
+
+
+def replay_to_dict(
+    workload: str,
+    stack: str,
+    plan: FaultPlan,
+    scale: float,
+    scenario: str = "",
+    seed: Optional[int] = None,
+    violations: Optional[List[dict]] = None,
+) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "workload": workload,
+        "stack": stack,
+        "scenario": scenario,
+        "seed": seed,
+        "scale": scale,
+        "plan": plan_to_dict(plan),
+        "violations": violations or [],
+    }
+
+
+def save_replay(path: str, data: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_replay(path: str) -> dict:
+    """Load a replay file; the ``plan`` key is inflated to a
+    :class:`FaultPlan` (which re-validates it on construction)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise FaultPlanError(
+            f"replay file {path!r} has version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    data["plan"] = plan_from_dict(data["plan"])
+    return data

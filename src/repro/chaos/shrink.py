@@ -1,0 +1,110 @@
+"""Deterministic fault-plan shrinking.
+
+When a chaos case breaks an invariant, the raw plan usually carries
+faults that have nothing to do with the bug.  The shrinker minimises it
+the way ``ddmin`` minimises failing inputs, leaning on the simulator's
+determinism: re-running the same plan always reproduces the same
+violation, so a candidate plan either preserves the violation signature
+or it does not — there is no flakiness to average over.
+
+Two passes run to a fixpoint:
+
+1. *Subset minimisation* — greedily drop one fault at a time, keeping
+   the drop whenever the first violation's invariant survives.
+2. *Attribute simplification* — for each surviving fault, try the
+   structurally simpler variant (a crash without its recovery, a
+   degradation without its healing edge), again keeping only
+   signature-preserving changes.
+
+The result is the smallest reproducing plan this greedy search finds —
+small enough to read, and exactly replayable via ``repro chaos
+--replay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence
+
+from repro.chaos.audit import Violation
+from repro.cluster.faults import DiskDegrade, FaultPlan, NodeCrash
+from repro.errors import FaultPlanError
+
+
+def violation_signature(violations: Sequence[Violation]) -> Optional[str]:
+    """The identity a shrink step must preserve: the first broken
+    invariant's name (``None`` for a clean run)."""
+    return violations[0].invariant if violations else None
+
+
+def _simpler_variants(fault):
+    """Structurally simpler versions of one fault, simplest first."""
+    if isinstance(fault, NodeCrash) and fault.recover_at is not None:
+        yield replace(fault, recover_at=None)
+    if isinstance(fault, DiskDegrade) and fault.until is not None:
+        yield replace(fault, until=None)
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    predicate: Callable[[FaultPlan], Optional[str]],
+    max_runs: int = 200,
+) -> FaultPlan:
+    """Minimise ``plan`` while ``predicate`` keeps returning the same
+    violation signature.
+
+    ``predicate(candidate)`` must run the candidate on a fresh
+    simulation and return its :func:`violation_signature` (``None`` for
+    clean).  ``max_runs`` bounds the total predicate invocations so a
+    pathological plan cannot stall a campaign; the best plan found so
+    far is returned when the budget runs out.
+    """
+    budget = [max_runs]
+
+    def check(candidate: FaultPlan) -> Optional[str]:
+        if budget[0] <= 0:
+            return None  # out of budget: treat as not reproducing
+        budget[0] -= 1
+        return predicate(candidate)
+
+    target = check(plan)
+    if target is None:
+        return plan  # nothing to shrink (or no budget to prove otherwise)
+
+    faults: List = list(plan.faults)
+    # Pass 1: drop faults one at a time until no single drop reproduces.
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for index in range(len(faults)):
+            if len(faults) <= 1:
+                break
+            candidate_faults = faults[:index] + faults[index + 1:]
+            candidate = FaultPlan(
+                faults=tuple(candidate_faults), seed=plan.seed
+            )
+            if check(candidate) == target:
+                faults = candidate_faults
+                changed = True
+                break
+    # Pass 2: simplify the survivors' attributes.
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for index, fault in enumerate(faults):
+            for variant in _simpler_variants(fault):
+                candidate_faults = list(faults)
+                candidate_faults[index] = variant
+                try:
+                    candidate = FaultPlan(
+                        faults=tuple(candidate_faults), seed=plan.seed
+                    )
+                except FaultPlanError:
+                    continue  # e.g. dropping a recovery created an overlap
+                if check(candidate) == target:
+                    faults = candidate_faults
+                    changed = True
+                    break
+            if changed:
+                break
+    return FaultPlan(faults=tuple(faults), seed=plan.seed)

@@ -10,6 +10,7 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro stacks                   # the §5.5 stack study
     python -m repro system                   # §3.2 classification
     python -m repro faults [--seed 7]        # stack fault resilience
+    python -m repro chaos [--seeds 20]       # invariant-audited chaos soak
     python -m repro trace S-WordCount        # span-trace one run
 """
 
@@ -179,13 +180,108 @@ def _cmd_system(args) -> int:
 
 
 def _cmd_faults(args) -> int:
+    from repro.errors import InvariantViolation
+
     context = ExperimentContext(scale=args.scale, seed=args.seed)
-    result = fault_resilience.run(context)
+    try:
+        result = fault_resilience.run(context)
+    except InvariantViolation as violation:
+        # A lost wave or broken invariant is a simulator bug, never a
+        # legitimate stack outcome: fail the command.
+        print(f"invariant violation: {violation}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     print(result.render())
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import os
+
+    from repro.chaos import (
+        load_replay,
+        replay_to_dict,
+        run_plan,
+        save_replay,
+        shrink_plan,
+        violation_signature,
+    )
+    from repro.experiments import chaos_soak
+
+    if args.replay:
+        data = load_replay(args.replay)
+        case = run_plan(
+            data["workload"], data["stack"], data["plan"],
+            scale=data.get("scale", args.scale),
+        )
+        if args.json:
+            print(json.dumps(case.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"replayed {data['workload']}/{data['stack']} "
+                f"({len(data['plan'].faults)} faults): outcome={case.outcome}"
+            )
+            for violation in case.violations:
+                print(f"  {violation.invariant}: {violation.detail}")
+        if case.violations:
+            print("violation reproduced", file=sys.stderr)
+            return 1
+        if not args.json:
+            print("clean: the violation no longer reproduces")
+        return 0
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    stacks = args.stacks.split(",") if args.stacks else None
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    result = chaos_soak.run(
+        context, seeds=args.seeds, workloads=workloads, stacks=stacks
+    )
+    artifacts = []
+    if not result.clean:
+        # Minimise each violating plan and pin it to a replay file.
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        for campaign in result.campaigns:
+            for case in campaign.dirty_cases:
+                plan = case.case.plan
+                if not args.no_shrink:
+                    plan = shrink_plan(
+                        plan,
+                        lambda candidate: violation_signature(
+                            run_plan(
+                                case.case.workload, case.case.stack,
+                                candidate, scale=args.scale,
+                            ).violations
+                        ),
+                    )
+                path = os.path.join(
+                    args.artifact_dir,
+                    f"chaos-seed{campaign.seed}-{case.case.workload}-"
+                    f"{case.case.stack}.json",
+                )
+                save_replay(
+                    path,
+                    replay_to_dict(
+                        case.case.workload,
+                        case.case.stack,
+                        plan,
+                        args.scale,
+                        scenario=case.case.scenario,
+                        seed=campaign.seed,
+                        violations=[v.to_dict() for v in case.violations],
+                    ),
+                )
+                artifacts.append(path)
+    if args.json:
+        payload = result.to_dict()
+        payload["artifacts"] = artifacts
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        for path in artifacts:
+            print(f"minimized replay written to {path}")
+    return 0 if result.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -247,6 +343,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the resilience results as JSON instead of a table",
     )
+
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="invariant-audited chaos campaigns over the workload x stack "
+             "matrix; exits nonzero on any violation",
+    )
+    chaos_parser.add_argument(
+        "--seeds", type=int, default=5,
+        help="number of consecutive campaign seeds to run (default 5)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="first campaign seed (default 0)",
+    )
+    chaos_parser.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workloads (default wordcount,grep; "
+             "also: sort)",
+    )
+    chaos_parser.add_argument(
+        "--stacks", default=None,
+        help="comma-separated stacks (default Hadoop,Spark,MPI)",
+    )
+    chaos_parser.add_argument(
+        "--artifact-dir", default="chaos-artifacts",
+        help="where minimized replay files for violations land "
+             "(default chaos-artifacts/)",
+    )
+    chaos_parser.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-run one saved replay file instead of a campaign; "
+             "exits 1 if its violation still reproduces",
+    )
+    chaos_parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="save violating plans as-is instead of minimizing them",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true",
+        help="emit campaign verdicts as JSON instead of a table",
+    )
     return parser
 
 
@@ -260,6 +397,7 @@ _HANDLERS = {
     "stacks": _cmd_stacks,
     "system": _cmd_system,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
 }
 
 

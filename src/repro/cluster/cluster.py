@@ -110,6 +110,70 @@ class Cluster:
         """Drive the simulation; returns the final simulated time."""
         return self.sim.run(until=until)
 
+    def direct_totals(self, peek: bool = False):
+        """Cluster-wide cumulative totals summed straight off the nodes.
+
+        ``peek=True`` uses the non-mutating accessors so the read never
+        flushes a lazy accounting integral — the chaos auditor uses this
+        to cross-check telemetry without perturbing the run.  The sums
+        visit nodes in construction order, so the floats are
+        bit-identical to the timeline's
+        :meth:`~repro.obs.metrics.UtilizationTimeline.final_totals`.
+        """
+        from repro.obs.metrics import TimelineTotals
+
+        if peek:
+            busy = [node.disk.peek_busy_time() for node in self.nodes]
+            weighted = [
+                node.disk.peek_weighted_io_time() for node in self.nodes
+            ]
+        else:
+            busy = [node.disk.busy_time() for node in self.nodes]
+            weighted = [node.disk.weighted_io_time() for node in self.nodes]
+        return TimelineTotals(
+            cpu_seconds=sum(node.cpu_time for node in self.nodes),
+            disk_busy_seconds=sum(busy),
+            disk_weighted_seconds=sum(weighted),
+            disk_bytes=sum(node.disk.total_bytes for node in self.nodes),
+            net_bytes=sum(node.nic.total_bytes for node in self.nodes),
+        )
+
+    def leak_report(self) -> List[dict]:
+        """Grants still held and waiters still queued, per node resource.
+
+        Empty on a cleanly drained cluster; the chaos auditor turns any
+        entry into a ``resource-leak`` violation.
+        """
+        leaks = []
+        for node in self.nodes:
+            channels = (
+                (node.cores, "cores"),
+                (node.disk._channel, "disk-channel"),
+                (node.nic._channel, "nic-channel"),
+            )
+            for resource, kind in channels:
+                if resource.in_use or resource.waiters:
+                    leaks.append(
+                        {
+                            "node": node.name,
+                            "resource": resource.name,
+                            "kind": kind,
+                            "in_use": resource.in_use,
+                            "waiters": resource.waiters,
+                        }
+                    )
+            if node.disk.inflight:
+                leaks.append(
+                    {
+                        "node": node.name,
+                        "resource": node.disk.name,
+                        "kind": "disk-inflight",
+                        "in_use": node.disk.inflight,
+                        "waiters": 0,
+                    }
+                )
+        return leaks
+
     def metrics(self) -> SystemMetrics:
         """Cluster-wide system metrics since construction."""
         elapsed = self.sim.now - self._started_at
@@ -143,17 +207,16 @@ class Cluster:
             total_disk_bytes = totals.disk_bytes
             total_net_bytes = totals.net_bytes
         else:
-            total_cpu = sum(node.cpu_time for node in self.nodes)
             # Disk *service* time, not per-task blocked time: with more
             # runnable tasks than in-flight I/Os the OS overlaps the
             # queueing delay with other tasks' compute, exactly as Linux
             # iowait does.
-            total_io = sum(node.disk.busy_time() for node in self.nodes)
-            total_weighted = sum(
-                node.disk.weighted_io_time() for node in self.nodes
-            )
-            total_disk_bytes = sum(node.disk.total_bytes for node in self.nodes)
-            total_net_bytes = sum(node.nic.total_bytes for node in self.nodes)
+            totals = self.direct_totals()
+            total_cpu = totals.cpu_seconds
+            total_io = totals.disk_busy_seconds
+            total_weighted = totals.disk_weighted_seconds
+            total_disk_bytes = totals.disk_bytes
+            total_net_bytes = totals.net_bytes
         busy = total_cpu + total_io
         cpu = total_cpu / busy if busy > 0 else 0.0
         iowait = total_io / busy if busy > 0 else 0.0

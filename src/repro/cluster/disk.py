@@ -55,6 +55,17 @@ class Disk:
         seek = 0.0 if sequential else self.seek_s
         return seek + nbytes / self.bandwidth_bps
 
+    def _partial_credit(self, nbytes: int, elapsed: float, duration: float) -> int:
+        """Bytes that crossed the channel in ``elapsed`` of ``duration``.
+
+        Separated out so the credit rule is auditable (and mutable by
+        the chaos suite's deliberate-bug tests): an interrupted transfer
+        may never be credited more than time-proportional progress.
+        """
+        if duration <= 0:
+            return 0
+        return int(nbytes * elapsed / duration)
+
     def _io(self, nbytes: int, is_write: bool, sequential: bool):
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -89,8 +100,13 @@ class Disk:
         except Interrupted:
             # Transfer cut short (node crash): credit the bytes that
             # actually crossed the channel before the kill.
-            if duration > 0:
-                done = int(nbytes * (self.sim.now - started) / duration)
+            elapsed = self.sim.now - started
+            done = self._partial_credit(nbytes, elapsed, duration)
+            auditor = self.sim.auditor
+            if auditor is not None:
+                auditor.observe_disk_interrupt(
+                    self.name, nbytes, done, elapsed, duration
+                )
             raise
         finally:
             self._channel.release()
@@ -129,6 +145,11 @@ class Disk:
     def peek_busy_time(self) -> float:
         """:meth:`busy_time` without flushing the channel's integral."""
         return self._channel.peek_busy_time()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently in progress (queued or transferring)."""
+        return self._inflight
 
     @property
     def total_bytes(self) -> int:

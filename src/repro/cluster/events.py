@@ -16,6 +16,8 @@ import heapq
 from collections import deque
 from typing import Callable, Deque, Generator, List, Optional
 
+from repro.errors import SimulationError
+
 
 class Interrupted(Exception):
     """Thrown into a process generator by :meth:`Process.interrupt`.
@@ -53,7 +55,11 @@ class Event:
     def trigger(self, value=None) -> None:
         """Fire the event immediately (at the current simulation time)."""
         if self.triggered:
-            raise RuntimeError("event already triggered")
+            raise SimulationError(
+                "event already triggered",
+                time=self.sim.now,
+                event=type(self).__name__,
+            )
         self.triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
@@ -159,13 +165,21 @@ class Simulation:
     instrumented component reaches it through its ``sim`` reference and
     skips all recording when it is ``None``, keeping untraced runs on
     the exact pre-observability event schedule.
+
+    ``auditor`` is an optional :class:`repro.chaos.audit.InvariantAuditor`
+    reached the same way: processes and resources register themselves
+    with it and the run loop reports every event timestamp, so the
+    auditor can check for stranded processes, leaked grants and a
+    non-monotonic clock.  With no auditor the hooks cost one ``None``
+    test each and the event schedule is untouched.
     """
 
-    def __init__(self, tracer=None):
+    def __init__(self, tracer=None, auditor=None):
         self.now = 0.0
         self._queue: list = []
         self._sequence = 0
         self.tracer = tracer
+        self.auditor = auditor
         if tracer is not None:
             tracer.bind_clock(lambda: self.now)
 
@@ -179,7 +193,10 @@ class Simulation:
 
     def process(self, generator: Generator) -> Process:
         """Register a generator as a running process."""
-        return Process(self, generator)
+        process = Process(self, generator)
+        if self.auditor is not None:
+            self.auditor.register_process(process)
+        return process
 
     def run(
         self,
@@ -202,6 +219,8 @@ class Simulation:
                 self.now = until
                 return self.now
             heapq.heappop(self._queue)
+            if self.auditor is not None:
+                self.auditor.observe_time(time)
             self.now = time
             if isinstance(item, _Resume):
                 item.process._step(item.value)
@@ -256,6 +275,8 @@ class Resource:
         self._busy_integral = 0.0
         self._queue_integral = 0.0
         self._last_change = sim.now
+        if sim.auditor is not None:
+            sim.auditor.register_resource(self)
 
     def _account(self) -> None:
         elapsed = self.sim.now - self._last_change
@@ -274,11 +295,21 @@ class Resource:
             self._waiting.append(grant)
         return grant
 
+    @property
+    def waiters(self) -> int:
+        """Requests queued behind the in-use capacity units."""
+        return len(self._waiting)
+
     def release(self) -> None:
         """Return one capacity unit, waking the next waiter if any."""
         self._account()
         if self.in_use <= 0:
-            raise RuntimeError(f"{self.name}: release without request")
+            raise SimulationError(
+                f"{self.name}: release without request",
+                time=self.sim.now,
+                in_use=self.in_use,
+                waiters=len(self._waiting),
+            )
         if self._waiting:
             grant = self._waiting.popleft()
             self.sim._schedule(0.0, grant, None)

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.cluster.events import Process
+from repro.errors import FaultPlanError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,59 @@ class FaultPlan:
 
     faults: Tuple[Fault, ...] = ()
     seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        crash_windows: Dict[int, List[Tuple[float, float]]] = {}
+        for fault in self.faults:
+            if not isinstance(fault, (NodeCrash, DiskDegrade, NetworkPartition)):
+                raise FaultPlanError(
+                    f"unknown fault kind {type(fault).__name__!r}",
+                    fault=repr(fault),
+                )
+            if isinstance(fault, NodeCrash):
+                crash_windows.setdefault(fault.node, []).append(
+                    (fault.at, fault.recover_at
+                     if fault.recover_at is not None else float("inf"))
+                )
+        # Two crash windows on one node must not overlap: the injector
+        # would silently merge them (the second crash no-ops while the
+        # node is already down, then the first recovery revives a node
+        # the second crash meant to keep dead).
+        for node, windows in crash_windows.items():
+            windows.sort()
+            for (start_a, end_a), (start_b, _) in zip(windows, windows[1:]):
+                if start_b < end_a:
+                    raise FaultPlanError(
+                        f"overlapping NodeCrash windows on node {node}",
+                        node=node,
+                        first_window=(start_a, end_a),
+                        second_start=start_b,
+                    )
+
+    def validate(self, n_nodes: int) -> "FaultPlan":
+        """Check every fault targets a node the cluster actually has.
+
+        Node references are only resolvable against a cluster size, so
+        this runs at :meth:`FaultInjector.install` time rather than at
+        construction.  Returns ``self`` so call sites can chain.
+        Raises :class:`~repro.errors.FaultPlanError` on an unknown node
+        (``Cluster.node`` would otherwise silently wrap the index).
+        """
+        for fault in self.faults:
+            nodes = (
+                fault.nodes if isinstance(fault, NetworkPartition)
+                else (fault.node,)
+            )
+            for node in nodes:
+                if not 0 <= node < n_nodes:
+                    raise FaultPlanError(
+                        f"fault references unknown node {node} "
+                        f"(cluster has nodes 0..{n_nodes - 1})",
+                        node=node,
+                        n_nodes=n_nodes,
+                        fault=repr(fault),
+                    )
+        return self
 
     @property
     def is_empty(self) -> bool:
@@ -229,7 +283,8 @@ class FaultInjector:
     def install(self) -> None:
         """Spawn one driver process per fault in the plan."""
         if self._installed:
-            raise RuntimeError("fault plan already installed")
+            raise SimulationError("fault plan already installed")
+        self.plan.validate(len(self.cluster))
         self._installed = True
         sim = self.cluster.sim
         for fault in self.plan.faults:

@@ -1,0 +1,62 @@
+"""Typed exceptions for the simulation substrate.
+
+The hierarchy exists so callers can tell *what kind* of thing went
+wrong without parsing messages:
+
+- :class:`SimulationError` — the discrete-event substrate itself was
+  misused or reached an impossible state (double-triggered event,
+  release without request).  Subclasses ``RuntimeError`` so code (and
+  tests) written against the pre-typed errors keep working.
+- :class:`InvariantViolation` — a runtime invariant the chaos auditor
+  (or the scheduler's own drain check) watches over was broken: work
+  was lost or double-counted, a resource leaked, the clock ran
+  backwards.  Carries the structured :class:`repro.chaos.audit.Violation`
+  records when raised by the auditor.
+- :class:`FaultPlanError` — a :class:`~repro.cluster.faults.FaultPlan`
+  is malformed (negative times, overlapping crash windows, unknown
+  nodes).  Also subclasses ``ValueError`` because plan validation is
+  input validation.
+- :class:`JobFailedError` — the recovery policy gave up on a job (or
+  forbids recovery altogether, the MPI/Impala behaviour).  Re-homed
+  here from ``repro.stacks.scheduler``, which still re-exports it.
+
+Every error carries an optional ``context`` dict of diagnostic
+key/values (sim time, node, wave, task indices) rendered into ``str()``
+so failures name their circumstances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimulationError(RuntimeError):
+    """The discrete-event substrate was misused or is inconsistent."""
+
+    def __init__(self, message: str, **context):
+        self.context = context
+        if context:
+            detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant over the simulation state was broken.
+
+    ``violations`` holds the auditor's structured records when the
+    auditor raised this; a single-condition violation (the scheduler's
+    stranded-wave check) leaves it empty and relies on ``context``.
+    """
+
+    def __init__(self, message: str, violations: Optional[list] = None, **context):
+        super().__init__(message, **context)
+        self.violations = list(violations) if violations else []
+
+
+class FaultPlanError(SimulationError, ValueError):
+    """A fault plan is malformed; refuse it rather than misbehave."""
+
+
+class JobFailedError(SimulationError):
+    """The recovery policy gave up (or forbids recovery altogether)."""

@@ -29,10 +29,15 @@ from typing import List, Optional
 from repro.cluster.cluster import Cluster, SystemMetrics
 from repro.cluster.events import Event, Interrupted, Process
 from repro.cluster.faults import FaultInjector, FaultPlan
+from repro.errors import InvariantViolation, JobFailedError
 
-
-class JobFailedError(RuntimeError):
-    """The recovery policy gave up (or forbids recovery altogether)."""
+__all__ = [
+    "JobFailedError",  # re-homed to repro.errors; re-exported for callers
+    "TaskDescriptor",
+    "RecoveryPolicy",
+    "policy_for",
+    "run_waves",
+]
 
 
 @dataclass(frozen=True)
@@ -172,6 +177,7 @@ class _TaskState:
     index: int
     task: TaskDescriptor
     node: int
+    wave: int = 0
     done: bool = False
     attempts: int = 0
     first_launch: float = 0.0
@@ -210,6 +216,7 @@ class _WaveScheduler:
         tracer=None,
         job_name: str = "job",
         wave_names: Optional[List[str]] = None,
+        auditor=None,
     ):
         self.cluster = cluster
         self.sim = cluster.sim
@@ -220,6 +227,9 @@ class _WaveScheduler:
         self.stats = _RecoveryStats()
         self.detected_down: set = set()
         self.tracer = tracer
+        # Like the tracer, the auditor defaults to the simulation's own
+        # so an audited Simulation audits every job run on it.
+        self.auditor = auditor if auditor is not None else self.sim.auditor
         self.job_name = job_name
         self.wave_names = wave_names
         self.telemetry = None
@@ -241,6 +251,8 @@ class _WaveScheduler:
 
     # ---- failure detection ----------------------------------------------
     def _on_node_down(self, node_index: int, cause: str) -> None:
+        if self.auditor is not None:
+            self.auditor.fault_boundary(node_index, up=False)
         if self.tracer is not None:
             self.tracer.instant(
                 "node down",
@@ -270,6 +282,8 @@ class _WaveScheduler:
         self.sim.process(detect())
 
     def _on_node_up(self, node_index: int) -> None:
+        if self.auditor is not None:
+            self.auditor.fault_boundary(node_index, up=True)
         # A rejoining tracker re-registers immediately.
         self.detected_down.discard(node_index)
         if self.tracer is not None:
@@ -297,6 +311,18 @@ class _WaveScheduler:
         raise JobFailedError("no surviving nodes to schedule on")
 
     # ---- the task body (identical to plain wave execution) ---------------
+    @staticmethod
+    def _chunk_sizes(nbytes: int, n_chunks: int) -> tuple:
+        """Per-chunk bytes and the remainder that rides the final chunk.
+
+        Integer division would silently drop up to n_chunks-1 bytes per
+        task (and *all* I/O when bytes < n_chunks); the remainder rides
+        the final chunk so bandwidth metrics account for every byte.
+        Kept as its own method so the chaos suite's mutation tests can
+        re-break it and prove the byte-conservation audit catches it.
+        """
+        return divmod(nbytes, n_chunks)
+
     def _attempt_body(self, task: TaskDescriptor, node_index: int):
         node = self.cluster.node(node_index)
         peer = self.cluster.node((node_index + 1) % self.n_nodes)
@@ -304,11 +330,8 @@ class _WaveScheduler:
         cpu_seconds = task.cpu_instructions / self.instruction_rate
         n_chunks = max(1, (total_io + self.io_chunk_bytes - 1) // self.io_chunk_bytes)
         cpu_per_chunk = cpu_seconds / n_chunks
-        # Integer division would silently drop up to n_chunks-1 bytes per
-        # task (and *all* I/O when bytes < n_chunks); the remainder rides
-        # the final chunk so bandwidth metrics account for every byte.
-        read_per_chunk, read_remainder = divmod(task.read_bytes, n_chunks)
-        write_per_chunk, write_remainder = divmod(task.write_bytes, n_chunks)
+        read_per_chunk, read_remainder = self._chunk_sizes(task.read_bytes, n_chunks)
+        write_per_chunk, write_remainder = self._chunk_sizes(task.write_bytes, n_chunks)
         for chunk in range(n_chunks):
             last = chunk == n_chunks - 1
             nread = read_per_chunk + (read_remainder if last else 0)
@@ -335,6 +358,11 @@ class _WaveScheduler:
     def _finish_attempt(self, node_index: int, process: Process) -> None:
         if self.injector is not None:
             self.injector.unregister_attempt(node_index, process)
+
+    def _settle(self, state: _TaskState, committed: bool) -> None:
+        """Report one finished attempt to the invariant auditor."""
+        if self.auditor is not None:
+            self.auditor.attempt_settled(state.wave, state.index, committed)
 
     # ---- supervision -----------------------------------------------------
     def _supervise(self, state: _TaskState):
@@ -383,10 +411,22 @@ class _WaveScheduler:
             self._finish_attempt(node_index, process)
             elapsed = self.sim.now - started
             if not isinstance(outcome, Interrupted):
+                if state.done:
+                    # A speculative duplicate won at this very instant
+                    # and saw this attempt as already triggered, so its
+                    # kill was a no-op.  Without this guard both
+                    # attempts would commit — the double-count the
+                    # invariant auditor exists to catch.
+                    if attempt_span is not None:
+                        tracer.end(attempt_span, outcome="lost race")
+                    self.stats.wasted_seconds += elapsed
+                    self._settle(state, committed=False)
+                    return
                 # Clean finish: this attempt wins.
                 if attempt_span is not None:
                     tracer.end(attempt_span, outcome="ok")
                 self.stats.useful_seconds += elapsed
+                self._settle(state, committed=True)
                 self._mark_done(state)
                 return
             if attempt_span is not None:
@@ -399,9 +439,11 @@ class _WaveScheduler:
                 # A speculative duplicate beat this attempt; its watcher
                 # already recorded the win.  The primary's time is waste.
                 self.stats.wasted_seconds += elapsed
+                self._settle(state, committed=False)
                 return
             # Genuine failure.
             self.stats.wasted_seconds += elapsed
+            self._settle(state, committed=False)
             if policy.abort_on_node_loss:
                 raise JobFailedError(
                     f"task {state.index} lost ({outcome.cause}); "
@@ -472,11 +514,13 @@ class _WaveScheduler:
             if attempt_span is not None:
                 tracer.end(attempt_span, outcome="lost race")
             self.stats.wasted_seconds += elapsed
+            self._settle(state, committed=False)
             return
         if attempt_span is not None:
             tracer.end(attempt_span, outcome="won race")
         self.stats.useful_seconds += elapsed
         self.stats.speculative_wins += 1
+        self._settle(state, committed=True)
         state.runtime = self.sim.now - state.first_launch
         state.done = True
         primary = state.primary
@@ -532,6 +576,8 @@ class _WaveScheduler:
         tracer = self.tracer
         job_span = None
         sampler = None
+        if self.auditor is not None:
+            self.auditor.begin_job(self.cluster)
         if tracer is not None:
             job_span = tracer.begin(self.job_name, "job", waves=len(waves))
             self.telemetry.sample()
@@ -564,6 +610,8 @@ class _WaveScheduler:
                     parent=stage_span,
                     tasks=len(wave),
                 )
+            if self.auditor is not None:
+                self.auditor.begin_wave(wave_index, wave, self.instruction_rate)
             states = []
             for task_index, task in enumerate(wave):
                 states.append(
@@ -571,6 +619,7 @@ class _WaveScheduler:
                         index=task_index,
                         task=task,
                         node=self._initial_node(task),
+                        wave=wave_index,
                     )
                 )
             supervisors = []
@@ -598,10 +647,15 @@ class _WaveScheduler:
                 # exactly which tasks were lost (an assert would vanish
                 # under ``python -O`` and name nothing).
                 lost = [s.index for s in states if not s.done]
-                raise RuntimeError(
+                raise InvariantViolation(
                     f"wave {wave_index} did not drain: tasks {lost} were "
-                    f"lost without completing or failing the job"
+                    f"lost without completing or failing the job",
+                    time=self.sim.now,
+                    wave=wave_index,
+                    lost_tasks=lost,
                 )
+            if self.auditor is not None:
+                self.auditor.end_wave(wave_index)
         metrics = self.cluster.metrics()
         metrics.tasks_retried = self.stats.tasks_retried
         metrics.speculative_launches = self.stats.speculative_launches
@@ -609,6 +663,8 @@ class _WaveScheduler:
         metrics.wasted_work_ratio = self.stats.wasted_work_ratio
         if self.injector is not None:
             metrics.faults_injected = self.injector.faults_injected
+        if self.auditor is not None:
+            self.auditor.end_job(self.cluster, metrics)
         return metrics
 
 
@@ -622,6 +678,7 @@ def run_waves(
     tracer=None,
     job_name: str = "job",
     wave_names: Optional[List[str]] = None,
+    auditor=None,
 ) -> SystemMetrics:
     """Execute task waves with a barrier between waves.
 
@@ -641,6 +698,11 @@ def run_waves(
     With no tracer the instrumentation records nothing and the event
     schedule is untouched.
 
+    ``auditor`` (an :class:`repro.chaos.InvariantAuditor`) receives the
+    per-task commit ledger and job/wave boundaries; like the tracer it
+    defaults to the simulation's own ``sim.auditor``, and with neither
+    the audit hooks cost one ``None`` check each.
+
     Raises :class:`JobFailedError` when the policy gives up — a task
     exhausts ``max_attempts``, or any node is lost under an
     ``abort_on_node_loss`` (MPI-style) policy.
@@ -658,5 +720,6 @@ def run_waves(
         tracer=tracer,
         job_name=job_name,
         wave_names=wave_names,
+        auditor=auditor,
     )
     return scheduler.run(waves)

@@ -224,7 +224,11 @@ def _meter_grep(doc: str, meter: Meter) -> None:
 
 
 def hadoop_grep(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """H-Grep: Table 2 row 7 (searching plain text for matching lines)."""
 
@@ -242,11 +246,18 @@ def hadoop_grep(
         state_fraction=0.015,
         stream_fraction=0.012,
     )
-    return Hadoop().run(job, wiki_documents(scale, seed), cluster=cluster)
+    return Hadoop().run(
+        job, wiki_documents(scale, seed), cluster=cluster,
+        faults=faults, recovery=recovery,
+    )
 
 
 def spark_grep(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """S-Grep: Table 2 row 14."""
     spark = Spark()
@@ -263,11 +274,17 @@ def spark_grep(
         state_bytes=256 * 1024,
         state_fraction=0.018,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )
 
 
 def mpi_grep(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """M-Grep."""
 
@@ -295,6 +312,8 @@ def mpi_grep(
         state_bytes=128 * 1024,
         state_fraction=0.015,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )
 
 
@@ -311,7 +330,11 @@ def _sort_records(scale: float, seed: int) -> List[str]:
 
 
 def hadoop_sort(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """Hadoop Sort (one of the six MPI-comparison algorithms)."""
 
@@ -335,11 +358,17 @@ def hadoop_sort(
         state_fraction=0.012,
         stream_fraction=0.030,
     )
-    return Hadoop().run(job, records, cluster=cluster)
+    return Hadoop().run(
+        job, records, cluster=cluster, faults=faults, recovery=recovery
+    )
 
 
 def spark_sort(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """S-Sort: Table 2 row 17."""
     spark = Spark()
@@ -355,11 +384,17 @@ def spark_sort(
         state_fraction=0.014,
         output_bytes=total_bytes,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )
 
 
 def mpi_sort(
-    scale: float = 1.0, cluster: Optional[Cluster] = None, seed: int = 0
+    scale: float = 1.0,
+    cluster: Optional[Cluster] = None,
+    seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> WorkloadResult:
     """M-Sort: a classic sample sort over the BSP collectives."""
 
@@ -410,4 +445,6 @@ def mpi_sort(
         state_bytes=max(2 * 1024 * 1024, total_bytes),
         state_fraction=0.010,
         cluster=cluster,
+        faults=faults,
+        recovery=recovery,
     )

@@ -1,0 +1,607 @@
+"""Tests for ``repro.chaos``: invariant auditing, seeded campaigns,
+plan shrinking and replay files.
+
+The mutation tests are the suite's teeth: they deliberately re-break
+the simulator's accounting (double-crediting interrupted transfers,
+dropping chunk remainders) and assert the auditor catches the bug, the
+shrinker minimises the violating plan, and the replay reproduces the
+identical violation run after run.
+"""
+
+import pytest
+
+from repro.chaos import (
+    InvariantAuditor,
+    generate_campaign,
+    make_plan,
+    run_case,
+    run_plan,
+    shrink_plan,
+    violation_signature,
+)
+from repro.chaos.campaign import SCENARIOS, STACKS, WORKLOADS, baseline_elapsed
+from repro.chaos.replay import (
+    load_replay,
+    plan_from_dict,
+    plan_to_dict,
+    replay_to_dict,
+    save_replay,
+)
+from repro.cluster.cluster import Cluster
+from repro.cluster.disk import Disk
+from repro.cluster.events import Simulation
+from repro.cluster.faults import (
+    DiskDegrade,
+    FaultPlan,
+    NetworkPartition,
+    NodeCrash,
+)
+from repro.errors import (
+    FaultPlanError,
+    InvariantViolation,
+    JobFailedError,
+    SimulationError,
+)
+from repro.stacks.scheduler import (
+    RecoveryPolicy,
+    TaskDescriptor,
+    _WaveScheduler,
+    run_waves,
+)
+
+#: Fast failure detection so faulted unit runs converge quickly.
+FAST_POLICY = RecoveryPolicy(
+    max_attempts=4,
+    heartbeat_timeout=0.01,
+    heartbeat_interval=0.01,
+    retry_backoff=0.01,
+)
+
+
+def audited_run_waves(plan, tasks, n_nodes=3, policy=FAST_POLICY):
+    """One ``run_waves`` job on a fresh audited simulation, drained."""
+    auditor = InvariantAuditor()
+    sim = Simulation(auditor=auditor)
+    cluster = Cluster(sim=sim, n_nodes=n_nodes)
+    aborted = False
+    try:
+        run_waves(
+            cluster, tasks, instruction_rate=1e9, faults=plan, policy=policy
+        )
+    except JobFailedError:
+        aborted = True
+    for _ in range(50):
+        try:
+            sim.run()
+            break
+        except JobFailedError:
+            aborted = True
+    auditor.check_drained(sim, cluster, aborted=aborted)
+    return auditor
+
+
+#: A wave whose tasks are big enough to be mid-transfer when faults land
+#: (100 MB at 120 MB/s is ~0.84 s per read).
+BIG_WAVE = [
+    [
+        TaskDescriptor(
+            cpu_instructions=1e6, read_bytes=100_000_000, preferred_node=i
+        )
+        for i in range(3)
+    ]
+]
+
+
+class TestErrorHierarchy:
+    def test_simulation_error_is_runtime_error(self):
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(JobFailedError, SimulationError)
+        assert issubclass(InvariantViolation, SimulationError)
+
+    def test_fault_plan_error_is_value_error(self):
+        # Pre-existing callers catch ValueError for plan validation.
+        assert issubclass(FaultPlanError, ValueError)
+        assert issubclass(FaultPlanError, SimulationError)
+
+    def test_context_carried_and_rendered(self):
+        error = SimulationError("boom", time=1.5, node=2)
+        assert error.context == {"time": 1.5, "node": 2}
+        assert "time=1.5" in str(error)
+        assert "node=2" in str(error)
+
+    def test_scheduler_reexports_job_failed_error(self):
+        from repro.stacks import scheduler
+
+        assert scheduler.JobFailedError is JobFailedError
+
+
+class TestFaultPlanValidation:
+    def test_overlapping_crash_windows_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                faults=(
+                    NodeCrash(node=1, at=1.0, recover_at=5.0),
+                    NodeCrash(node=1, at=3.0),
+                )
+            )
+
+    def test_unrecovered_crash_blocks_later_crash_on_same_node(self):
+        # recover_at=None means down forever: any later crash overlaps.
+        with pytest.raises(FaultPlanError):
+            FaultPlan(
+                faults=(
+                    NodeCrash(node=0, at=1.0),
+                    NodeCrash(node=0, at=9.0),
+                )
+            )
+
+    def test_sequential_windows_on_same_node_allowed(self):
+        plan = FaultPlan(
+            faults=(
+                NodeCrash(node=1, at=1.0, recover_at=2.0),
+                NodeCrash(node=1, at=3.0),
+            )
+        )
+        assert len(plan.faults) == 2
+
+    def test_crash_windows_on_distinct_nodes_independent(self):
+        plan = FaultPlan(
+            faults=(NodeCrash(node=0, at=1.0), NodeCrash(node=1, at=1.0))
+        )
+        assert len(plan.faults) == 2
+
+    def test_unknown_node_rejected_at_validate(self):
+        plan = FaultPlan.single_crash(node=7, at=1.0)
+        with pytest.raises(FaultPlanError):
+            plan.validate(5)
+
+    def test_partition_node_refs_validated(self):
+        plan = FaultPlan(
+            faults=(NetworkPartition(nodes=(1, 9), at=1.0, until=2.0),)
+        )
+        with pytest.raises(FaultPlanError):
+            plan.validate(5)
+
+    def test_validate_returns_self_for_chaining(self):
+        plan = FaultPlan.single_crash(node=1, at=1.0)
+        assert plan.validate(5) is plan
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(faults=("not a fault",))
+
+    def test_fault_plan_error_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            FaultPlan.single_crash(node=3, at=1.0).validate(2)
+
+
+class TestAuditorCore:
+    def test_fault_free_run_audits_clean(self):
+        auditor = audited_run_waves(None, BIG_WAVE)
+        assert auditor.clean
+
+    def test_faulted_run_audits_clean(self):
+        plan = FaultPlan.single_crash(node=0, at=0.3, recover_at=5.0)
+        auditor = audited_run_waves(plan, BIG_WAVE)
+        assert auditor.clean, [v.to_dict() for v in auditor.violations]
+
+    def test_clock_monotonicity_violation_recorded(self):
+        auditor = InvariantAuditor()
+        auditor.observe_time(5.0)
+        auditor.observe_time(4.0)
+        assert violation_signature(auditor.violations) == "clock-monotonic"
+
+    def test_strict_mode_raises_immediately(self):
+        auditor = InvariantAuditor(strict=True)
+        auditor.observe_time(5.0)
+        with pytest.raises(InvariantViolation):
+            auditor.observe_time(4.0)
+
+    def test_raise_if_violated_carries_violations(self):
+        auditor = InvariantAuditor()
+        auditor.record("task-commit-once", "demo")
+        with pytest.raises(InvariantViolation) as excinfo:
+            auditor.raise_if_violated()
+        assert excinfo.value.violations[0].invariant == "task-commit-once"
+
+    def test_valid_partial_credit_accepted(self):
+        auditor = InvariantAuditor()
+        auditor.observe_disk_interrupt("disk", 1000, 500, 0.5, 1.0)
+        assert auditor.clean
+
+    def test_over_credit_recorded(self):
+        auditor = InvariantAuditor()
+        auditor.observe_disk_interrupt("disk", 1000, 1000, 0.5, 1.0)
+        assert violation_signature(auditor.violations) == "disk-partial-credit"
+
+    def test_negative_credit_recorded(self):
+        auditor = InvariantAuditor()
+        auditor.observe_disk_interrupt("disk", 1000, -1, 0.5, 1.0)
+        assert not auditor.clean
+
+    def test_aborted_run_keeps_leak_checks_but_skips_liveness(self):
+        plan = FaultPlan.single_crash(node=0, at=0.2)
+        policy = RecoveryPolicy(max_attempts=1, abort_on_node_loss=True)
+        auditor = audited_run_waves(plan, BIG_WAVE, policy=policy)
+        # The aborting supervisor never triggers; that must not count as
+        # a stranded process, and no grants may leak on the way out.
+        assert auditor.clean, [v.to_dict() for v in auditor.violations]
+
+
+class TestInterruptDuringDiskTransfer:
+    def test_partial_credit_is_time_proportional(self):
+        auditor = InvariantAuditor()
+        sim = Simulation(auditor=auditor)
+        disk = Disk(sim, bandwidth_mbps=100.0, seek_ms=0.0)
+        io = disk.read(10_000_000)  # 0.1 s transfer
+
+        def killer():
+            yield sim.timeout(0.05)
+            io.interrupt("mid-transfer kill")
+
+        sim.process(killer())
+        sim.run()
+        # Half the duration elapsed: roughly half the bytes credited,
+        # and the auditor saw a physically plausible credit.
+        assert disk.bytes_read == pytest.approx(5_000_000, rel=0.01)
+        assert disk.inflight == 0
+        assert auditor.clean
+
+    def test_mutated_credit_rule_is_flagged(self, monkeypatch):
+        monkeypatch.setattr(
+            Disk, "_partial_credit", lambda self, nbytes, e, d: nbytes
+        )
+        auditor = InvariantAuditor()
+        sim = Simulation(auditor=auditor)
+        disk = Disk(sim, bandwidth_mbps=100.0, seek_ms=0.0)
+        io = disk.read(10_000_000)
+
+        def killer():
+            yield sim.timeout(0.05)
+            io.interrupt("mid-transfer kill")
+
+        sim.process(killer())
+        sim.run()
+        assert violation_signature(auditor.violations) == "disk-partial-credit"
+
+
+class TestCampaignGeneration:
+    def test_same_seed_same_campaign(self):
+        first = generate_campaign(5)
+        second = generate_campaign(5)
+        assert [(c.workload, c.stack, c.scenario) for c in first] == [
+            (c.workload, c.stack, c.scenario) for c in second
+        ]
+
+    def test_covers_full_matrix(self):
+        cases = generate_campaign(0)
+        cells = {(c.workload, c.stack) for c in cases}
+        assert cells == {
+            (w, s) for w in WORKLOADS for s in STACKS
+        }
+
+    def test_scenarios_rotate_across_seeds(self):
+        seen = set()
+        for seed in range(8):
+            seen.update(c.scenario for c in generate_campaign(seed))
+        assert seen == set(SCENARIOS)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            generate_campaign(0, workloads=("teragen",))
+
+    def test_unknown_stack_rejected(self):
+        with pytest.raises(KeyError):
+            generate_campaign(0, stacks=("Flink",))
+
+    def test_all_scenarios_yield_valid_plans(self):
+        for scenario in SCENARIOS:
+            for seed in range(6):
+                plan = make_plan(scenario, f"{scenario}:{seed}", 5, 2.0)
+                plan.validate(5)  # would raise FaultPlanError
+                assert plan.faults
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            make_plan("meteor-strike", "x", 5, 1.0)
+
+
+class TestCampaignExecution:
+    SCALE = 0.2
+
+    def test_case_runs_clean_and_deterministic(self):
+        case = generate_campaign(
+            2, workloads=("wordcount",), stacks=("Hadoop",)
+        )[0]
+        first = run_case(case, scale=self.SCALE)
+        second = run_case(case, scale=self.SCALE)
+        assert first.clean, [v.to_dict() for v in first.violations]
+        assert first.outcome == second.outcome
+        assert first.elapsed == second.elapsed
+        assert first.tasks_retried == second.tasks_retried
+
+    def test_mpi_abort_is_not_a_violation(self):
+        horizon = baseline_elapsed("wordcount", "MPI", self.SCALE)
+        plan = FaultPlan.single_crash(node=1, at=0.4 * horizon)
+        result = run_plan("wordcount", "MPI", plan, scale=self.SCALE)
+        assert result.outcome == "aborted"
+        assert result.clean
+
+
+class TestMutationCatchAndShrink:
+    """The acceptance loop: inject a bug, catch it, shrink, replay."""
+
+    MULTI_FAULT_PLAN = FaultPlan(
+        faults=(
+            NodeCrash(node=0, at=0.3, recover_at=2.5),
+            DiskDegrade(node=1, at=0.1, factor=4.0, until=1.0),
+            NetworkPartition(nodes=(2,), at=0.1, until=0.2),
+        )
+    )
+
+    def test_double_credit_caught_shrunk_and_replayed(self, monkeypatch):
+        monkeypatch.setattr(
+            Disk, "_partial_credit", lambda self, nbytes, e, d: nbytes
+        )
+
+        def signature_of(plan):
+            return violation_signature(
+                audited_run_waves(plan, BIG_WAVE).violations
+            )
+
+        target = signature_of(self.MULTI_FAULT_PLAN)
+        assert target == "disk-partial-credit"
+        small = shrink_plan(self.MULTI_FAULT_PLAN, signature_of)
+        assert len(small.faults) < len(self.MULTI_FAULT_PLAN.faults)
+        assert signature_of(small) == target
+        # Deterministic replay: the identical violations, twice.
+        first = [
+            v.to_dict() for v in audited_run_waves(small, BIG_WAVE).violations
+        ]
+        second = [
+            v.to_dict() for v in audited_run_waves(small, BIG_WAVE).violations
+        ]
+        assert first == second and first
+
+    def test_fixed_build_replays_clean(self, monkeypatch):
+        # Under the mutation the shrunken plan reproduces; on the real
+        # (fixed) credit rule the same plan audits clean — the developer
+        # fix-verification loop.
+        monkeypatch.setattr(
+            Disk, "_partial_credit", lambda self, nbytes, e, d: nbytes
+        )
+
+        def signature_of(plan):
+            return violation_signature(
+                audited_run_waves(plan, BIG_WAVE).violations
+            )
+
+        small = shrink_plan(self.MULTI_FAULT_PLAN, signature_of)
+        monkeypatch.undo()
+        assert audited_run_waves(small, BIG_WAVE).clean
+
+    def test_chunk_remainder_loss_caught(self, monkeypatch):
+        monkeypatch.setattr(
+            _WaveScheduler,
+            "_chunk_sizes",
+            staticmethod(lambda nbytes, n_chunks: (nbytes // n_chunks, 0)),
+        )
+        # 100000007 bytes over two 64 MiB chunks leaves a remainder the
+        # mutation drops; conservation must notice on a fault-free run.
+        wave = [[TaskDescriptor(cpu_instructions=1e6, read_bytes=100_000_007)]]
+        auditor = audited_run_waves(None, wave)
+        assert (
+            violation_signature(auditor.violations) == "byte-conservation-disk"
+        )
+
+    def test_double_commit_race_would_be_caught(self):
+        # Simulate the ledger seeing two commits for one task.
+        auditor = InvariantAuditor()
+
+        class _Totals:
+            cpu_seconds = 0.0
+            disk_bytes = 0
+            net_bytes = 0
+
+        class _Cluster:
+            telemetry = None
+            nodes = ()
+
+            def direct_totals(self, peek=False):
+                return _Totals()
+
+            def __len__(self):
+                return 1
+
+        auditor.begin_job(_Cluster())
+        auditor.begin_wave(
+            0, [TaskDescriptor(cpu_instructions=1e6)], instruction_rate=1e9
+        )
+        auditor.attempt_settled(0, 0, committed=True)
+        auditor.attempt_settled(0, 0, committed=True)
+        auditor.end_wave(0)
+        assert violation_signature(auditor.violations) == "task-commit-once"
+
+    def test_lost_task_caught(self):
+        auditor = InvariantAuditor()
+
+        class _Totals:
+            cpu_seconds = 0.0
+            disk_bytes = 0
+            net_bytes = 0
+
+        class _Cluster:
+            telemetry = None
+            nodes = ()
+
+            def direct_totals(self, peek=False):
+                return _Totals()
+
+            def __len__(self):
+                return 1
+
+        auditor.begin_job(_Cluster())
+        auditor.begin_wave(
+            0, [TaskDescriptor(cpu_instructions=1e6)], instruction_rate=1e9
+        )
+        auditor.end_wave(0)  # nobody ever committed
+        assert violation_signature(auditor.violations) == "task-commit-once"
+
+
+class TestShrinker:
+    def test_clean_plan_returned_unchanged(self):
+        plan = FaultPlan.single_crash(node=0, at=1.0)
+        assert shrink_plan(plan, lambda _plan: None) is plan
+
+    def test_greedy_removal_to_single_fault(self):
+        plan = FaultPlan(
+            faults=(
+                NodeCrash(node=0, at=1.0),
+                NodeCrash(node=1, at=2.0),
+                NodeCrash(node=2, at=3.0),
+            )
+        )
+        # Signature reproduces iff node 1's crash is present.
+        def predicate(candidate):
+            hit = any(
+                isinstance(f, NodeCrash) and f.node == 1
+                for f in candidate.faults
+            )
+            return "task-commit-once" if hit else None
+
+        small = shrink_plan(plan, predicate)
+        assert len(small.faults) == 1
+        assert small.faults[0].node == 1
+
+    def test_attribute_simplification_drops_recovery(self):
+        plan = FaultPlan(
+            faults=(NodeCrash(node=0, at=1.0, recover_at=9.0),)
+        )
+        small = shrink_plan(plan, lambda _plan: "resource-leak")
+        assert small.faults[0].recover_at is None
+
+    def test_budget_bounds_predicate_invocations(self):
+        calls = [0]
+
+        def predicate(_plan):
+            calls[0] += 1
+            return "resource-leak"
+
+        plan = FaultPlan(
+            faults=tuple(NodeCrash(node=i, at=1.0) for i in range(5))
+        )
+        shrink_plan(plan, predicate, max_runs=10)
+        assert calls[0] <= 10
+
+    def test_signature_mismatch_not_accepted(self):
+        plan = FaultPlan(
+            faults=(NodeCrash(node=0, at=1.0), NodeCrash(node=1, at=2.0))
+        )
+        # Dropping either fault flips the signature: nothing can shrink.
+        def predicate(candidate):
+            return (
+                "task-commit-once"
+                if len(candidate.faults) == 2 else "resource-leak"
+            )
+
+        assert shrink_plan(plan, predicate).faults == plan.faults
+
+
+class TestReplayFiles:
+    PLAN = FaultPlan(
+        faults=(
+            NodeCrash(node=0, at=0.5, recover_at=1.5),
+            DiskDegrade(node=1, at=0.2, factor=3.5, until=None),
+            NetworkPartition(nodes=(2, 3), at=0.4, until=0.9),
+        ),
+        seed=42,
+    )
+
+    def test_plan_round_trips_through_dict(self):
+        assert plan_from_dict(plan_to_dict(self.PLAN)) == self.PLAN
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "replay.json"
+        save_replay(
+            str(path),
+            replay_to_dict(
+                "wordcount", "Hadoop", self.PLAN, 0.2,
+                scenario="crash-storm", seed=3,
+            ),
+        )
+        data = load_replay(str(path))
+        assert data["workload"] == "wordcount"
+        assert data["stack"] == "Hadoop"
+        assert data["plan"] == self.PLAN
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "replay.json"
+        payload = replay_to_dict("wordcount", "Hadoop", self.PLAN, 0.2)
+        payload["version"] = 99
+        save_replay(str(path), payload)
+        with pytest.raises(FaultPlanError):
+            load_replay(str(path))
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            plan_from_dict({"faults": [{"kind": "alien"}]})
+
+
+class TestChaosCli:
+    SCALE = "0.2"
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "--scale", self.SCALE, "chaos", "--seeds", "1",
+            "--workloads", "wordcount", "--stacks", "Hadoop",
+        ]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_and_writes_artifact(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        # Halve every task's I/O while still committing the full demand:
+        # the loss dwarfs any fault-induced waste, so byte conservation
+        # trips, the campaign fails and pins a minimized replay file.
+        monkeypatch.setattr(
+            _WaveScheduler,
+            "_chunk_sizes",
+            staticmethod(lambda nbytes, n_chunks: (nbytes // (2 * n_chunks), 0)),
+        )
+        artifact_dir = tmp_path / "artifacts"
+        code = main([
+            "--scale", self.SCALE, "chaos", "--seeds", "1",
+            "--workloads", "wordcount", "--stacks", "Hadoop",
+            "--artifact-dir", str(artifact_dir),
+        ])
+        assert code == 1
+        artifacts = list(artifact_dir.glob("chaos-*.json"))
+        assert len(artifacts) == 1
+        # The pinned replay still reproduces on the broken build ...
+        assert main(["chaos", "--replay", str(artifacts[0])]) == 1
+        monkeypatch.undo()
+        capsys.readouterr()
+        # ... and runs clean once the accounting bug is fixed.
+        assert main(["chaos", "--replay", str(artifacts[0])]) == 0
+        assert "no longer reproduces" in capsys.readouterr().out
+
+    def test_replay_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        path = tmp_path / "replay.json"
+        save_replay(
+            str(path),
+            replay_to_dict(
+                "wordcount", "Hadoop",
+                FaultPlan.single_crash(node=1, at=0.001), float(self.SCALE),
+            ),
+        )
+        assert main(["chaos", "--replay", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []

@@ -211,6 +211,48 @@ class TestInterrupt:
         assert not process.interrupted
         assert process.value == "done"
 
+    def test_double_interrupt_same_process(self):
+        # The first interrupt kills the process; the second must be a
+        # clean no-op (report False, preserve the original cause) — the
+        # fault injector and a losing speculation race can both try to
+        # kill the same attempt at one simulated instant.
+        sim = Simulation()
+        unwound = []
+
+        def worker():
+            try:
+                yield sim.timeout(10.0)
+            finally:
+                unwound.append(sim.now)
+
+        process = sim.process(worker())
+        sim.run(until=2.0)
+        assert process.interrupt("first cause") is True
+        assert process.interrupt("second cause") is False
+        assert process.interrupt_cause == "first cause"
+        assert unwound == [2.0]  # finally ran exactly once
+
+    def test_double_interrupt_does_not_double_release_resource(self):
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+
+        def holder():
+            grant = resource.request()
+            yield grant
+            try:
+                yield sim.timeout(100.0)
+            finally:
+                resource.release()
+
+        process = sim.process(holder())
+        sim.run(until=1.0)
+        process.interrupt("crash")
+        # A second kill must not re-run the finally: in_use would go
+        # negative (caught as SimulationError by release()).
+        process.interrupt("crash again")
+        sim.run()
+        assert resource.in_use == 0
+
     def test_stale_event_does_not_resume_interrupted_process(self):
         # The abandoned timeout still fires later; the dead process must
         # not be stepped again.
@@ -347,6 +389,34 @@ class TestResourceCancel:
         sim.process(worker())
         sim.run()
         assert resource.in_use == 0
+
+    def test_cancel_granted_slot_promotes_waiter(self):
+        # Cancelling an already-granted request must hand the slot to
+        # the next FIFO waiter, exactly like a release would — a task
+        # killed at the instant its grant fired must not strand the
+        # queue behind a phantom holder.
+        sim = Simulation()
+        resource = Resource(sim, capacity=1)
+        served = []
+
+        def canceller():
+            grant = resource.request()
+            yield grant
+            yield sim.timeout(1.0)
+            resource.cancel(grant)
+
+        def waiter():
+            grant = resource.request()
+            yield grant
+            served.append(sim.now)
+            resource.release()
+
+        sim.process(canceller())
+        sim.process(waiter())
+        sim.run()
+        assert served == [1.0]
+        assert resource.in_use == 0
+        assert resource.waiters == 0
 
 
 class TestRunUntilEvent:
