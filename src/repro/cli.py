@@ -12,6 +12,14 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro faults [--seed 7]        # stack fault resilience
     python -m repro chaos [--seeds 20]       # invariant-audited chaos soak
     python -m repro trace S-WordCount        # span-trace one run
+    python -m repro report                   # fidelity scorecard vs paper
+    python -m repro diff <run-a> <run-b>     # per-metric drift, CI gate
+    python -m repro history fig3             # metric trajectory, sparklines
+
+Every metric-producing command also writes a versioned run record into
+the registry directory (``.repro-runs/`` by default; override with
+``--runs-dir`` or ``REPRO_RUNS_DIR``, suppress with ``--no-record``) —
+that registry is what ``report``/``diff``/``history`` read.
 """
 
 from __future__ import annotations
@@ -35,6 +43,12 @@ from repro.experiments import (
     table2_reduction,
     table4_branch,
 )
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    build_provenance,
+    runs_dir_default,
+)
 from repro.uarch import ATOM_D510, XEON_E5645, characterize
 from repro.workloads import ALL_WORKLOADS, MPI_WORKLOADS, workload
 
@@ -50,6 +64,43 @@ _TABLES = {
     "2": table2_reduction,
     "4": table4_branch,
 }
+
+
+def _registry(args) -> RunRegistry:
+    return RunRegistry(args.runs_dir)
+
+
+def _save_record(args, record: RunRecord, quiet: bool = False) -> str:
+    """Persist one run record unless ``--no-record`` was given."""
+    if args.no_record:
+        return ""
+    path = _registry(args).save(record)
+    if not quiet:
+        print(f"\nrecorded {record.run_id} -> {path}")
+    return path
+
+
+def _record_experiment(
+    args,
+    context: ExperimentContext,
+    experiment: str,
+    result,
+    *,
+    kind: str = "experiment",
+    platforms=None,
+    config=None,
+    quiet: bool = False,
+) -> RunRecord:
+    """Build + persist the record for one experiment result."""
+    record = context.make_record(
+        experiment,
+        result.fidelity_metrics(),
+        kind=kind,
+        platforms=platforms,
+        config=config,
+    )
+    _save_record(args, record, quiet=quiet)
+    return record
 
 
 def _cmd_list(_args) -> int:
@@ -69,15 +120,33 @@ def _cmd_run(args) -> int:
     platform = ATOM_D510 if args.platform == "d510" else XEON_E5645
     if not args.json:
         print(f"running {definition.workload_id} ({definition.description}) ...")
-    result = definition.runner(scale=args.scale)
-    counters = characterize(result.profile, platform)
+    result = definition.runner(scale=args.scale, seed=args.seed)
+    counters = characterize(result.profile, platform, seed=1234 + args.seed)
+    metrics = dict(counters.metric_dict())
+    if result.system is not None:
+        for name, value in result.system.to_dict().items():
+            metrics[f"system.{name}"] = float(value)
+    record = RunRecord(
+        experiment=f"run.{definition.workload_id}",
+        kind="run",
+        metrics=metrics,
+        provenance=build_provenance(
+            experiment=f"run.{definition.workload_id}",
+            seed=args.seed,
+            scale=args.scale,
+            platforms=[platform.name],
+        ),
+    )
     if args.json:
+        _save_record(args, record, quiet=True)
         print(
             json.dumps(
                 {
                     "workload": definition.workload_id,
                     "platform": platform.name,
                     "scale": args.scale,
+                    "seed": args.seed,
+                    "run_id": record.run_id,
                     "metrics": counters.metric_dict(),
                 },
                 indent=2,
@@ -88,6 +157,7 @@ def _cmd_run(args) -> int:
     print(f"platform: {platform.name}")
     for name, value in counters.metric_dict().items():
         print(f"  {name:26s} {value:12.4f}")
+    _save_record(args, record)
     return 0
 
 
@@ -113,13 +183,23 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_reduce(args) -> int:
-    from repro.core import Wcrt
-
-    wcrt = Wcrt(n_profilers=5, scale=args.scale)
-    result = wcrt.reduce(ALL_WORKLOADS, k=args.k)
-    for representative in result.representatives:
-        members = result.clusters[representative]
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    with context.time_experiment("reduce"):
+        result = table2_reduction.run(context, k=args.k, seed=args.seed)
+    record = context.make_record(
+        "reduce",
+        result.fidelity_metrics(),
+        series=result.to_dict(),
+        config={"k": args.k},
+    )
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    for representative in result.reduction.representatives:
+        members = result.reduction.clusters[representative]
         print(f"{representative:26s} represents {len(members)}")
+    _save_record(args, record)
     return 0
 
 
@@ -132,12 +212,14 @@ def _print_timings(context: ExperimentContext) -> None:
 
 
 def _cmd_fig(args) -> int:
-    context = ExperimentContext(scale=args.scale)
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
     if args.figure == "locality":
         with context.time_experiment("fig-locality"):
-            rendered = fig6to9_locality.run(context).render()
-        print(rendered)
+            result = fig6to9_locality.run(context)
+        print(result.render())
         _print_timings(context)
+        _record_experiment(args, context, "fig-locality", result,
+                           kind="figure")
         return 0
     module = _FIGURES.get(args.figure)
     if module is None:
@@ -145,37 +227,68 @@ def _cmd_fig(args) -> int:
               file=sys.stderr)
         return 2
     with context.time_experiment(f"fig-{args.figure}"):
-        rendered = module.run(context).render()
-    print(rendered)
+        result = module.run(context)
+    print(result.render())
     _print_timings(context)
+    _record_experiment(args, context, f"fig{args.figure}", result,
+                       kind="figure")
     return 0
 
 
 def _cmd_table(args) -> int:
     if args.table == "1":
-        print(table1_datasets.run().render())
+        context = ExperimentContext(scale=args.scale, seed=args.seed)
+        with context.time_experiment("table-1"):
+            result = table1_datasets.run()
+        print(result.render())
+        _record_experiment(args, context, "table1", result, kind="table")
         return 0
     module = _TABLES.get(args.table)
     if module is None:
         print(f"unknown table {args.table!r}; choose 1, 2 or 4", file=sys.stderr)
         return 2
-    context = ExperimentContext(scale=args.scale)
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
     with context.time_experiment(f"table-{args.table}"):
-        rendered = module.run(context).render()
-    print(rendered)
+        result = module.run(context)
+    print(result.render())
     _print_timings(context)
+    platforms = (
+        [XEON_E5645.name, ATOM_D510.name] if args.table == "4" else None
+    )
+    _record_experiment(args, context, f"table{args.table}", result,
+                       kind="table", platforms=platforms)
     return 0
 
 
 def _cmd_stacks(args) -> int:
-    context = ExperimentContext(scale=args.scale)
-    print(stack_impact.run(context).render())
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    with context.time_experiment("stacks"):
+        result = stack_impact.run(context)
+    record = context.make_record(
+        "stacks", result.fidelity_metrics(), series=result.to_dict()
+    )
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.render())
+    _save_record(args, record)
     return 0
 
 
 def _cmd_system(args) -> int:
-    context = ExperimentContext(scale=args.scale)
-    print(system_behaviors.run(context).render())
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    with context.time_experiment("system"):
+        result = system_behaviors.run(context)
+    record = context.make_record(
+        "system", result.fidelity_metrics(), series=result.to_dict()
+    )
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.render())
+    _save_record(args, record)
     return 0
 
 
@@ -184,16 +297,23 @@ def _cmd_faults(args) -> int:
 
     context = ExperimentContext(scale=args.scale, seed=args.seed)
     try:
-        result = fault_resilience.run(context)
+        with context.time_experiment("faults"):
+            result = fault_resilience.run(context)
     except InvariantViolation as violation:
         # A lost wave or broken invariant is a simulator bug, never a
         # legitimate stack outcome: fail the command.
         print(f"invariant violation: {violation}", file=sys.stderr)
         return 1
+    record = context.make_record(
+        "faults", result.fidelity_metrics(), kind="faults",
+        series=result.to_dict(),
+    )
     if args.json:
+        _save_record(args, record, quiet=True)
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return 0
     print(result.render())
+    _save_record(args, record)
     return 0
 
 
@@ -273,15 +393,76 @@ def _cmd_chaos(args) -> int:
                     ),
                 )
                 artifacts.append(path)
+    record = context.make_record(
+        "chaos", result.fidelity_metrics(), kind="chaos",
+        config={"seeds": args.seeds, "workloads": workloads,
+                "stacks": stacks},
+    )
     if args.json:
+        _save_record(args, record, quiet=True)
         payload = result.to_dict()
         payload["artifacts"] = artifacts
+        payload["run_id"] = record.run_id
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.render())
         for path in artifacts:
             print(f"minimized replay written to {path}")
+        _save_record(args, record)
     return 0 if result.clean else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import scorecard
+
+    experiments = args.experiments.split(",") if args.experiments else None
+    card = scorecard(_registry(args), experiments=experiments)
+    if args.json:
+        print(json.dumps(card.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(card.render())
+    return 1 if args.strict and not card.ok else 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.report import diff_records
+
+    registry = _registry(args)
+    try:
+        record_a = registry.resolve(args.run_a)
+        record_b = registry.resolve(args.run_b)
+    except (KeyError, ValueError) as error:
+        print(f"cannot resolve run record: {error}", file=sys.stderr)
+        return 3
+    result = diff_records(
+        record_a, record_b,
+        rel_threshold=args.rel_threshold,
+        abs_threshold=args.abs_threshold,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return result.exit_code
+
+
+def _cmd_history(args) -> int:
+    from repro.obs.report import history
+
+    result = history(
+        _registry(args), args.experiment, metrics=args.metric or None
+    )
+    if args.html:
+        out = args.out or f"history-{args.experiment}.html"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_html())
+        print(f"wrote {out}")
+        return 0
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(result.render())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -292,6 +473,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scale", type=float, default=0.5,
                         help="workload scale factor (default 0.5)")
+    parser.add_argument(
+        "--runs-dir", default=runs_dir_default(), metavar="DIR",
+        help="run-record registry directory (default .repro-runs/, "
+             "or $REPRO_RUNS_DIR)",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true",
+        help="do not write a run record for this invocation",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list the workload catalog")
@@ -300,6 +490,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("workload", help="workload id, e.g. S-WordCount")
     run_parser.add_argument("--platform", choices=("e5645", "d510"),
                             default="e5645")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload + characterization seed (default 0)",
+    )
     run_parser.add_argument("--json", action="store_true",
                             help="emit metrics as JSON instead of a table")
 
@@ -321,15 +515,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     reduce_parser = commands.add_parser("reduce", help="the 77 -> 17 reduction")
     reduce_parser.add_argument("--k", type=int, default=17)
+    reduce_parser.add_argument("--seed", type=int, default=0)
+    reduce_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry run-record schema instead of a table",
+    )
 
     fig_parser = commands.add_parser("fig", help="regenerate a figure")
     fig_parser.add_argument("figure", help="1-5 or 'locality' (6-9)")
+    fig_parser.add_argument("--seed", type=int, default=0)
 
     table_parser = commands.add_parser("table", help="regenerate a table")
     table_parser.add_argument("table", help="1, 2 or 4")
+    table_parser.add_argument("--seed", type=int, default=0)
 
-    commands.add_parser("stacks", help="the §5.5 software-stack study")
-    commands.add_parser("system", help="§3.2 system-behaviour classification")
+    stacks_parser = commands.add_parser(
+        "stacks", help="the §5.5 software-stack study"
+    )
+    stacks_parser.add_argument("--seed", type=int, default=0)
+    stacks_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry run-record schema instead of a table",
+    )
+
+    system_parser = commands.add_parser(
+        "system", help="§3.2 system-behaviour classification"
+    )
+    system_parser.add_argument("--seed", type=int, default=0)
+    system_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry run-record schema instead of a table",
+    )
 
     faults_parser = commands.add_parser(
         "faults",
@@ -384,6 +600,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit campaign verdicts as JSON instead of a table",
     )
+
+    report_parser = commands.add_parser(
+        "report",
+        help="paper-fidelity scorecard: latest recorded runs vs the "
+             "paper's anchor numbers",
+    )
+    report_parser.add_argument(
+        "--experiments", default=None, metavar="A,B,...",
+        help="restrict the scorecard to these experiments "
+             "(default: every anchored experiment)",
+    )
+    report_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 if any anchor fails or lacks a recorded run",
+    )
+    report_parser.add_argument("--json", action="store_true")
+
+    diff_parser = commands.add_parser(
+        "diff",
+        help="per-metric drift between two run records; exits 1 on "
+             "drift, 2 on metric-set mismatch",
+    )
+    diff_parser.add_argument(
+        "run_a",
+        help="baseline: a record path, run id, experiment name "
+             "(latest), or experiment~N",
+    )
+    diff_parser.add_argument("run_b", help="candidate, same forms")
+    diff_parser.add_argument(
+        "--rel-threshold", type=float, default=0.005, metavar="R",
+        help="relative drift a metric must exceed to count (default 0.005)",
+    )
+    diff_parser.add_argument(
+        "--abs-threshold", type=float, default=1e-9, metavar="A",
+        help="absolute drift floor (default 1e-9)",
+    )
+    diff_parser.add_argument("--json", action="store_true")
+
+    history_parser = commands.add_parser(
+        "history",
+        help="one experiment's metric trajectory across recorded runs",
+    )
+    history_parser.add_argument("experiment", help="e.g. fig3 or faults")
+    history_parser.add_argument(
+        "--metric", action="append", metavar="NAME",
+        help="restrict to this metric (repeatable; default: all)",
+    )
+    history_parser.add_argument("--json", action="store_true")
+    history_parser.add_argument(
+        "--html", action="store_true",
+        help="write a standalone HTML page with SVG trend lines",
+    )
+    history_parser.add_argument(
+        "--out", default=None,
+        help="HTML output path (default history-<experiment>.html)",
+    )
     return parser
 
 
@@ -398,6 +670,9 @@ _HANDLERS = {
     "system": _cmd_system,
     "faults": _cmd_faults,
     "chaos": _cmd_chaos,
+    "report": _cmd_report,
+    "diff": _cmd_diff,
+    "history": _cmd_history,
 }
 
 

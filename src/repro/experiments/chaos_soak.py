@@ -51,6 +51,25 @@ class ChaosSoakResult:
             for case in campaign.cases
         )
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-campaign verdicts + soak summary."""
+        metrics = {}
+        for campaign in self.campaigns:
+            outcomes = [case.outcome for case in campaign.cases]
+            prefix = f"campaign.{campaign.seed}"
+            metrics[f"{prefix}.cases"] = float(len(campaign.cases))
+            metrics[f"{prefix}.recovered"] = float(
+                outcomes.count("recovered")
+            )
+            metrics[f"{prefix}.aborted"] = float(outcomes.count("aborted"))
+            metrics[f"{prefix}.violations"] = float(
+                sum(len(case.violations) for case in campaign.cases)
+            )
+        metrics["summary.cases"] = float(self.n_cases)
+        metrics["summary.violations"] = float(self.n_violations)
+        metrics["summary.clean"] = float(self.clean)
+        return metrics
+
     def to_dict(self) -> dict:
         """Machine-readable form (``repro chaos --json``)."""
         return {

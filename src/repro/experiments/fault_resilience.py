@@ -74,6 +74,20 @@ class FaultResilienceResult:
                 return entry
         raise KeyError(stack)
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-stack outcome and recovery accounting."""
+        metrics = {}
+        for entry in self.results:
+            prefix = f"stack.{entry.stack}"
+            metrics[f"{prefix}.recovered"] = float(
+                entry.outcome == "recovered"
+            )
+            metrics[f"{prefix}.baseline.elapsed"] = entry.baseline.elapsed
+            if entry.faulty is not None:
+                for name, value in entry.faulty.to_dict().items():
+                    metrics[f"{prefix}.faulty.{name}"] = float(value)
+        return metrics
+
     def to_dict(self) -> dict:
         """Machine-readable form (``repro faults --json``)."""
         return {

@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     CATEGORY_GROUPS,
     ExperimentContext,
 )
+from repro.obs.registry import flatten_rows
 from repro.report.tables import render_table
 from repro.workloads import MPI_WORKLOADS, REPRESENTATIVE_WORKLOADS
 
@@ -48,6 +49,19 @@ class InstructionMixResult:
     group_rows: List[list] = field(default_factory=list)
     bigdata_branch: float = 0.0
     bigdata_integer: float = 0.0
+
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload/suite/group mixes + averages."""
+        headers = ["workload"] + list(MIX_METRICS)
+        metrics = flatten_rows("workload", headers, self.workload_rows)
+        metrics.update(flatten_rows("suite", headers, self.suite_rows))
+        metrics.update(
+            flatten_rows("group", ["group", "ratio_branch", "ratio_integer"],
+                         self.group_rows)
+        )
+        metrics["bigdata.ratio_branch"] = self.bigdata_branch
+        metrics["bigdata.ratio_integer"] = self.bigdata_integer
+        return metrics
 
     def render(self) -> str:
         headers = ["workload", "integer", "fp", "branch", "load", "store"]

@@ -36,6 +36,27 @@ class IntegerBreakdownResult:
     avg_data_movement: float = 0.0
     avg_with_branches: float = 0.0
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload breakdown + §5.1 averages."""
+        from repro.obs.registry import flatten_rows
+
+        metrics = flatten_rows(
+            "workload",
+            ["workload", "int_addr", "fp_addr", "other", "data_movement",
+             "with_branches"],
+            self.rows,
+        )
+        metrics.update(
+            {
+                "avg.int_addr": self.avg_int_addr,
+                "avg.fp_addr": self.avg_fp_addr,
+                "avg.other": self.avg_other,
+                "avg.data_movement": self.avg_data_movement,
+                "avg.with_branches": self.avg_with_branches,
+            }
+        )
+        return metrics
+
     def render(self) -> str:
         table = render_table(
             ["workload", "int addr", "fp addr", "other", "data movement", "+branches"],

@@ -41,6 +41,19 @@ class IpcResult:
     group_rows: List[list] = field(default_factory=list)
     bigdata_ipc: float = 0.0
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload/suite/group IPC + the mean."""
+        from repro.obs.registry import flatten_rows
+
+        metrics = flatten_rows("workload", ["workload", "ipc"],
+                               self.workload_rows)
+        for name, ipc in self.suite_ipcs.items():
+            metrics[f"suite.{name}.ipc"] = ipc
+        metrics.update(flatten_rows("group", ["group", "ipc"],
+                                    self.group_rows))
+        metrics["bigdata.ipc"] = self.bigdata_ipc
+        return metrics
+
     def render(self) -> str:
         parts = [
             render_table(["workload", "IPC"], self.workload_rows,

@@ -42,6 +42,22 @@ class CacheBehaviorResult:
     group_rows: List[list] = field(default_factory=list)
     bigdata: Dict[str, float] = field(default_factory=dict)
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: MPKI per workload/suite/group + means."""
+        from repro.obs.registry import flatten_rows
+
+        headers = ["workload"] + list(LEVELS)
+        metrics = flatten_rows("workload", headers, self.workload_rows)
+        metrics.update(flatten_rows("suite", headers, self.suite_rows))
+        metrics.update(
+            flatten_rows("group",
+                         ["group", "l1i_mpki", "l2_mpki", "l3_mpki"],
+                         self.group_rows)
+        )
+        for level, value in self.bigdata.items():
+            metrics[f"bigdata.{level}"] = value
+        return metrics
+
     def render(self) -> str:
         headers = ["workload", "L1I", "L1D", "L2", "L3"]
         parts = [

@@ -31,6 +31,21 @@ class TlbBehaviorResult:
     bigdata_itlb: float = 0.0
     bigdata_dtlb: float = 0.0
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: TLB MPKI per workload/suite/group + means."""
+        from repro.obs.registry import flatten_rows
+
+        headers = ["workload", "itlb_mpki", "dtlb_mpki"]
+        metrics = flatten_rows("workload", headers, self.workload_rows)
+        metrics.update(flatten_rows("suite", headers, self.suite_rows))
+        metrics.update(
+            flatten_rows("group", ["group", "itlb_mpki", "dtlb_mpki"],
+                         self.group_rows)
+        )
+        metrics["bigdata.itlb_mpki"] = self.bigdata_itlb
+        metrics["bigdata.dtlb_mpki"] = self.bigdata_dtlb
+        return metrics
+
     def render(self) -> str:
         parts = [
             render_table(["workload", "ITLB", "DTLB"], self.workload_rows,

@@ -44,6 +44,22 @@ class LocalityResult:
     unified: Dict[str, List[float]]      # Figure 8
     knees_kb: Dict[str, int]
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: the footprint knees + each curve's floor."""
+        metrics = {
+            f"knee_kb.{label}": float(knee)
+            for label, knee in self.knees_kb.items()
+        }
+        for kind, curves in (
+            ("instruction", self.instruction),
+            ("data", self.data),
+            ("unified", self.unified),
+        ):
+            for label, ratios in curves.items():
+                metrics[f"floor.{kind}.{label}"] = min(ratios)
+                metrics[f"start.{kind}.{label}"] = ratios[0]
+        return metrics
+
     def render(self) -> str:
         parts = [
             render_series("KB", self.sizes_kb,

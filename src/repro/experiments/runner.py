@@ -8,10 +8,11 @@ one sweep.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.comparison import SUITES
 from repro.obs.metrics import CounterRegistry
+from repro.obs.registry import RunRecord, build_provenance
 from repro.stacks.base import WorkloadResult
 from repro.uarch.counters import PerfCounters, characterize
 from repro.uarch.platforms import ATOM_D510, XEON_E5645, Platform
@@ -166,3 +167,40 @@ class ExperimentContext:
             name = key[: -len(".seconds")]
             lines.append(f"{name}: {value:.3f}s wall")
         return lines
+
+    # ---- run records --------------------------------------------------------
+    def make_record(
+        self,
+        experiment: str,
+        metrics: Dict[str, float],
+        *,
+        kind: str = "experiment",
+        platforms: Optional[List[str]] = None,
+        series: Optional[Dict[str, object]] = None,
+        config: Optional[Dict[str, object]] = None,
+    ) -> RunRecord:
+        """A registry record of one experiment run under this context.
+
+        Provenance captures this context's seed/scale plus any
+        experiment-specific ``config``; the wall-clock counter snapshot
+        rides along under ``timings`` (informational — never part of a
+        drift comparison).
+        """
+        return RunRecord(
+            experiment=experiment,
+            kind=kind,
+            metrics=dict(metrics),
+            provenance=build_provenance(
+                experiment=experiment,
+                seed=self.seed,
+                scale=self.scale,
+                platforms=(
+                    list(platforms)
+                    if platforms is not None
+                    else [XEON_E5645.name]
+                ),
+                config=config,
+            ),
+            series=dict(series) if series else {},
+            timings=self.registry.snapshot(),
+        )

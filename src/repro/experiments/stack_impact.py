@@ -58,6 +58,30 @@ class StackImpactResult:
         """How many times larger the JVM stacks' L1I MPKI is."""
         return self.others_avg["l1i_mpki"] / max(1e-9, self.mpi_avg["l1i_mpki"])
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload numbers + §5.5 summary gaps."""
+        from repro.obs.registry import flatten_rows
+
+        metrics = flatten_rows(
+            "workload", ["workload"] + list(METRICS), self.rows
+        )
+        for metric in METRICS:
+            metrics[f"mpi_avg.{metric}"] = self.mpi_avg[metric]
+            metrics[f"others_avg.{metric}"] = self.others_avg[metric]
+        metrics["summary.ipc_gap"] = self.ipc_gap
+        metrics["summary.l1i_ratio"] = self.l1i_ratio
+        return metrics
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro stacks --json`` payload)."""
+        return {
+            "rows": [list(row) for row in self.rows],
+            "mpi_avg": dict(self.mpi_avg),
+            "others_avg": dict(self.others_avg),
+            "ipc_gap": self.ipc_gap,
+            "l1i_ratio": self.l1i_ratio,
+        }
+
     def render(self) -> str:
         table = render_table(
             ["workload", "IPC", "L1I", "L2", "L3"],

@@ -27,6 +27,32 @@ class SystemBehaviorResult:
     def match_ratio(self) -> float:
         return self.matches / max(1, self.total)
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload utilisation + match summary."""
+        from repro.obs.registry import flatten_rows
+
+        metrics = flatten_rows(
+            "workload",
+            ["workload", "cpu_utilization", "io_wait_ratio",
+             "weighted_io_time_ratio"],
+            [row[:4] for row in self.rows],
+        )
+        for row in self.rows:
+            metrics[f"workload.{row[0]}.matches"] = float(row[4] == row[5])
+        metrics["summary.matches"] = float(self.matches)
+        metrics["summary.total"] = float(self.total)
+        metrics["summary.match_ratio"] = self.match_ratio
+        return metrics
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro system --json`` payload)."""
+        return {
+            "rows": [list(row) for row in self.rows],
+            "matches": self.matches,
+            "total": self.total,
+            "match_ratio": self.match_ratio,
+        }
+
     def render(self) -> str:
         table = render_table(
             ["workload", "cpu util", "iowait", "wIO", "measured", "Table 2",

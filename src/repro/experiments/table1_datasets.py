@@ -27,6 +27,16 @@ from repro.report.tables import render_table
 class DatasetCatalogResult:
     rows: List[list] = field(default_factory=list)
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: the numeric shape statistics per dataset."""
+        from repro.obs.registry import flatten_rows
+
+        return flatten_rows(
+            "dataset",
+            ["dataset", "generator", "record_bytes", "sample"],
+            self.rows,
+        )
+
     def render(self) -> str:
         return render_table(
             ["dataset", "generator", "record bytes", "sample statistic"],

@@ -35,6 +35,35 @@ class ReductionExperimentResult:
     def n_clusters(self) -> int:
         return self.reduction.n_clusters
 
+    @property
+    def members_total(self) -> int:
+        return sum(len(m) for m in self.reduction.clusters.values())
+
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: cluster structure + Table 2 summary."""
+        metrics = {
+            f"cluster.{representative}.size": float(len(members))
+            for representative, members in self.reduction.clusters.items()
+        }
+        metrics["summary.n_clusters"] = float(self.n_clusters)
+        metrics["summary.members_total"] = float(self.members_total)
+        metrics["summary.representative_hits"] = float(
+            self.representative_hits
+        )
+        return metrics
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``repro reduce --json`` payload)."""
+        return {
+            "n_clusters": self.n_clusters,
+            "members_total": self.members_total,
+            "representative_hits": self.representative_hits,
+            "clusters": {
+                representative: sorted(members)
+                for representative, members in self.reduction.clusters.items()
+            },
+        }
+
     def render(self) -> str:
         table = render_table(
             ["representative", "represents", "members"],

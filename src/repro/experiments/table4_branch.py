@@ -29,6 +29,19 @@ class BranchStudyResult:
         """How many times worse the D510 predicts (paper ~2.8x)."""
         return self.d510_avg / max(1e-9, self.e5645_avg)
 
+    def fidelity_metrics(self) -> dict:
+        """Registry metrics: per-workload misprediction + platform means."""
+        from repro.obs.registry import flatten_rows
+
+        metrics = flatten_rows(
+            "workload", ["workload", "e5645_mispred", "d510_mispred"],
+            self.rows,
+        )
+        metrics["summary.e5645_mispred"] = self.e5645_avg
+        metrics["summary.d510_mispred"] = self.d510_avg
+        metrics["summary.ratio"] = self.ratio
+        return metrics
+
     def render(self) -> str:
         table = render_table(
             ["workload", "E5645 mispred", "D510 mispred"],

@@ -7,6 +7,14 @@ the instrumented code paths record nothing and schedules stay
 bit-identical.
 """
 
+from repro.obs.anchors import (
+    PAPER_ANCHORS,
+    Anchor,
+    AnchorCheck,
+    anchored_experiments,
+    anchors_for,
+    evaluate_record,
+)
 from repro.obs.export import (
     render_trace_summary,
     to_chrome_trace,
@@ -21,6 +29,23 @@ from repro.obs.metrics import (
     UtilizationTimeline,
 )
 from repro.obs.profiler import PhaseProfiler, phase, profiler, set_profiler
+from repro.obs.registry import (
+    SCHEMA_VERSION,
+    RunRecord,
+    RunRegistry,
+    build_provenance,
+    flatten_rows,
+    runs_dir_default,
+)
+from repro.obs.report import (
+    DiffResult,
+    History,
+    Scorecard,
+    diff_records,
+    history,
+    scorecard,
+    sparkline,
+)
 from repro.obs.tracer import (
     SPAN_CATEGORIES,
     CounterSample,
@@ -30,22 +55,41 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "PAPER_ANCHORS",
+    "SCHEMA_VERSION",
     "SPAN_CATEGORIES",
+    "Anchor",
+    "AnchorCheck",
     "ClusterTelemetry",
     "Counter",
     "CounterRegistry",
     "CounterSample",
+    "DiffResult",
+    "History",
     "InstantEvent",
     "NodeSample",
     "PhaseProfiler",
+    "RunRecord",
+    "RunRegistry",
+    "Scorecard",
     "Span",
     "TimelineTotals",
     "Tracer",
     "UtilizationTimeline",
+    "anchored_experiments",
+    "anchors_for",
+    "build_provenance",
+    "diff_records",
+    "evaluate_record",
+    "flatten_rows",
+    "history",
     "phase",
     "profiler",
     "render_trace_summary",
+    "runs_dir_default",
+    "scorecard",
     "set_profiler",
+    "sparkline",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

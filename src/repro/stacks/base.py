@@ -23,6 +23,7 @@ follow from the trait constants at the bottom of this module.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -35,6 +36,16 @@ from repro.uarch.profile import (
     CodeRegion,
     DataFootprint,
 )
+
+def stable_hash(key: object) -> int:
+    """Partition hash that is identical across interpreter invocations.
+
+    The builtin ``hash()`` is salted per-process for str/bytes
+    (PYTHONHASHSEED), which would make shuffle partition sizes — and
+    every downstream scheduler/IO metric — differ between runs.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
 
 #: Expansion of one abstract kernel operation into instruction classes.
 #: Each entry also carries the share of its integer instructions doing

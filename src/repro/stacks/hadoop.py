@@ -25,6 +25,7 @@ from repro.stacks.base import (
     StackTraits,
     WorkloadResult,
     build_profile,
+    stable_hash,
 )
 from repro.stacks.scheduler import (
     RecoveryPolicy,
@@ -153,7 +154,7 @@ class Hadoop(SoftwareStack):
         partitions: List[List[Pair]] = [[] for _ in range(job.n_reduces)]
         for output in map_outputs:
             for key, value in output:
-                partitions[hash(key) % job.n_reduces].append((key, value))
+                partitions[stable_hash(key) % job.n_reduces].append((key, value))
         for partition in partitions:
             partition.sort(key=lambda pair: repr(pair[0]))
             # Sorting cost: ~n log n compares through the raw comparator.

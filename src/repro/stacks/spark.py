@@ -25,6 +25,7 @@ from repro.stacks.base import (
     StackTraits,
     WorkloadResult,
     build_profile,
+    stable_hash,
 )
 from repro.stacks.scheduler import (
     RecoveryPolicy,
@@ -221,7 +222,7 @@ class Spark(SoftwareStack):
             for element in all_elements:
                 key = element[0]
                 self._meter.ops(hash=1)
-                buckets[hash(key) % n_out].append(element)
+                buckets[stable_hash(key) % n_out].append(element)
         for element in all_elements:
             shuffle_bytes += _value_bytes(element)
         self._meter.record_shuffle(shuffle_bytes, records=n_elements)

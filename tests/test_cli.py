@@ -35,6 +35,38 @@ class TestParser:
         assert args.out == "t.json"
         assert args.sample_interval == 0.05
 
+    def test_run_seed_flag(self):
+        args = build_parser().parse_args(["run", "S-WordCount", "--seed", "9"])
+        assert args.seed == 9
+
+    def test_runs_dir_and_no_record(self):
+        args = build_parser().parse_args(
+            ["--runs-dir", "/tmp/r", "--no-record", "list"]
+        )
+        assert args.runs_dir == "/tmp/r"
+        assert args.no_record
+
+    def test_uniform_json_flags(self):
+        for command in (["reduce"], ["stacks"], ["system"]):
+            args = build_parser().parse_args(command + ["--json"])
+            assert args.json
+
+    def test_report_diff_history_parse(self):
+        args = build_parser().parse_args(["report", "--strict"])
+        assert args.command == "report" and args.strict
+        args = build_parser().parse_args(
+            ["diff", "a.json", "fig3~1", "--rel-threshold", "0.1"]
+        )
+        assert args.run_a == "a.json"
+        assert args.run_b == "fig3~1"
+        assert args.rel_threshold == 0.1
+        args = build_parser().parse_args(
+            ["history", "fig3", "--metric", "bigdata.ipc", "--html"]
+        )
+        assert args.experiment == "fig3"
+        assert args.metric == ["bigdata.ipc"]
+        assert args.html
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -73,6 +105,36 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["workload"] == "H-Grep"
         assert "l1i_mpki" in payload["metrics"]
+        assert payload["seed"] == 0
+        assert payload["run_id"].startswith("run.H-Grep-")
+
+    def test_run_writes_record(self, tmp_path, capsys):
+        from repro.obs.registry import RunRegistry
+
+        runs = str(tmp_path / "runs")
+        assert main(
+            ["--scale", "0.2", "--runs-dir", runs, "run", "H-Grep",
+             "--seed", "4"]
+        ) == 0
+        assert "recorded" in capsys.readouterr().out
+        record = RunRegistry(runs).latest("run.H-Grep")
+        assert record is not None
+        assert record.provenance["seed"] == 4
+        assert record.kind == "run"
+        assert "l1i_mpki" in record.metrics
+
+    def test_system_json_emits_record_schema(self, tmp_path, capsys):
+        import json
+
+        runs = str(tmp_path / "runs")
+        assert main(
+            ["--scale", "0.2", "--runs-dir", runs, "system", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["experiment"] == "system"
+        assert "summary.match_ratio" in payload["metrics"]
+        assert payload["provenance"]["scale"] == 0.2
 
     def test_trace_writes_chrome_trace(self, tmp_path, capsys):
         import json
