@@ -114,8 +114,21 @@ def save_replay(path: str, data: dict) -> None:
 def load_replay(path: str) -> dict:
     """Load a replay file; the ``plan`` key is inflated to a
     :class:`FaultPlan` (which re-validates it on construction)."""
-    with open(path) as handle:
-        data = json.load(handle)
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        from repro.errors import ReplayFileError
+
+        raise ReplayFileError(
+            f"cannot read replay file {path!r}: {error.strerror or error}"
+        ) from None
+    except json.JSONDecodeError as error:
+        from repro.errors import ReplayFileError
+
+        raise ReplayFileError(
+            f"replay file {path!r} is not valid JSON: {error}"
+        ) from None
     version = data.get("version")
     if version != FORMAT_VERSION:
         raise FaultPlanError(

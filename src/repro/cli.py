@@ -12,6 +12,7 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro faults [--seed 7]        # stack fault resilience
     python -m repro chaos [--seeds 20]       # invariant-audited chaos soak
     python -m repro trace S-WordCount        # span-trace one run
+    python -m repro sweep --jobs 4           # supervised parallel sweep
     python -m repro report                   # fidelity scorecard vs paper
     python -m repro diff <run-a> <run-b>     # per-metric drift, CI gate
     python -m repro history fig3             # metric trajectory, sparklines
@@ -20,6 +21,15 @@ Every metric-producing command also writes a versioned run record into
 the registry directory (``.repro-runs/`` by default; override with
 ``--runs-dir`` or ``REPRO_RUNS_DIR``, suppress with ``--no-record``) —
 that registry is what ``report``/``diff``/``history`` read.
+
+``sweep`` (and ``fig``/``table`` with ``--jobs N``) fan the
+workload x platform x seed matrix out across supervised worker
+processes (:mod:`repro.exec`): per-cell timeouts with SIGKILL
+escalation, heartbeat hang detection, capped-backoff retry,
+poison-cell quarantine, and a crash-safe checkpoint under
+``<runs dir>/sweeps/`` that ``--resume`` restarts from.  Bad input
+(unknown workload, invalid ``--seed``/``--scale``, missing
+``--replay``) exits 2 with a one-line typed error, never a traceback.
 """
 
 from __future__ import annotations
@@ -50,7 +60,12 @@ from repro.obs.registry import (
     runs_dir_default,
 )
 from repro.uarch import ATOM_D510, XEON_E5645, characterize
-from repro.workloads import ALL_WORKLOADS, MPI_WORKLOADS, workload
+from repro.workloads import (
+    ALL_WORKLOADS,
+    MPI_WORKLOADS,
+    REPRESENTATIVE_WORKLOADS,
+    workload,
+)
 
 _FIGURES = {
     "1": fig1_instruction_mix,
@@ -211,9 +226,64 @@ def _print_timings(context: ExperimentContext) -> None:
             print(f"  {line}")
 
 
+def _prime_context(args, context: ExperimentContext, name: str,
+                   pairs) -> None:
+    """Fan a verb's characterization cells out across worker processes.
+
+    Only engages for ``--jobs > 1`` (or ``--resume``); the primed
+    context is bit-identical to a serially filled one, and quarantined
+    cells silently fall back to in-process computation.
+    """
+    jobs = getattr(args, "jobs", 1) or 1
+    resume = getattr(args, "resume", False)
+    if jobs <= 1 and not resume:
+        return
+    from repro.exec import SweepCheckpoint, sweep_id
+    from repro.obs.registry import config_hash
+
+    config = {
+        "verb": name,
+        "pairs": sorted([w, p.name] for w, p in pairs),
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+    chash = config_hash(config)
+    checkpoint = SweepCheckpoint(
+        args.runs_dir, sweep_id(name, chash, args.seed)
+    )
+    checkpoint.initialise(
+        config_hash=chash, seed=args.seed, config=config,
+        n_cells=len(pairs),
+    )
+    outcome = context.prime(
+        pairs,
+        jobs=jobs,
+        cell_timeout=getattr(args, "cell_timeout", None),
+        checkpoint=checkpoint,
+        resume=resume,
+    )
+    if outcome.quarantined:
+        print(
+            f"warning: {len(outcome.quarantined)} sweep cell(s) "
+            f"quarantined; they will be computed serially in-process:\n"
+            f"{outcome.render_quarantine()}",
+            file=sys.stderr,
+        )
+
+
+def _fig_pairs(figure: str, context: ExperimentContext):
+    """The (workload, platform) cells a figure consumes."""
+    pairs = [(d.workload_id, context.xeon) for d in REPRESENTATIVE_WORKLOADS]
+    if figure != "2":  # every other figure also plots the MPI six
+        pairs += [(d.workload_id, context.xeon) for d in MPI_WORKLOADS]
+    return pairs
+
+
 def _cmd_fig(args) -> int:
     context = ExperimentContext(scale=args.scale, seed=args.seed)
     if args.figure == "locality":
+        _prime_context(args, context, "fig-locality",
+                       _fig_pairs("locality", context))
         with context.time_experiment("fig-locality"):
             result = fig6to9_locality.run(context)
         print(result.render())
@@ -226,6 +296,8 @@ def _cmd_fig(args) -> int:
         print(f"unknown figure {args.figure!r}; choose 1-5 or 'locality'",
               file=sys.stderr)
         return 2
+    _prime_context(args, context, f"fig{args.figure}",
+                   _fig_pairs(args.figure, context))
     with context.time_experiment(f"fig-{args.figure}"):
         result = module.run(context)
     print(result.render())
@@ -248,6 +320,12 @@ def _cmd_table(args) -> int:
         print(f"unknown table {args.table!r}; choose 1, 2 or 4", file=sys.stderr)
         return 2
     context = ExperimentContext(scale=args.scale, seed=args.seed)
+    pairs = [(d.workload_id, context.xeon) for d in REPRESENTATIVE_WORKLOADS]
+    if args.table == "4":
+        pairs += [
+            (d.workload_id, context.atom) for d in REPRESENTATIVE_WORKLOADS
+        ]
+    _prime_context(args, context, f"table{args.table}", pairs)
     with context.time_experiment(f"table-{args.table}"):
         result = module.run(context)
     print(result.render())
@@ -257,6 +335,100 @@ def _cmd_table(args) -> int:
     )
     _record_experiment(args, context, f"table{args.table}", result,
                        kind="table", platforms=platforms)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """The supervised parallel sweep over workload x platform x seed."""
+    from repro.errors import InvalidParameterError
+    from repro.exec import (
+        SweepCheckpoint,
+        SweepExecutor,
+        decompose,
+        merge_results,
+        sweep_id,
+        telemetry_lines,
+    )
+    from repro.exec.cells import PLATFORM_KEYS, platform_for
+    from repro.obs.registry import config_hash
+
+    if args.workloads:
+        workload_ids = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    else:
+        workload_ids = [d.workload_id for d in REPRESENTATIVE_WORKLOADS]
+    for workload_id in workload_ids:
+        workload(workload_id)  # typed UnknownWorkloadError before any work
+    platforms = [p.strip() for p in args.platforms.split(",") if p.strip()]
+    if not platforms:
+        raise InvalidParameterError("--platforms must name at least one platform")
+    for key in platforms:
+        if key not in PLATFORM_KEYS:
+            raise InvalidParameterError(
+                f"unknown platform {key!r}; choose from "
+                f"{', '.join(PLATFORM_KEYS)}"
+            )
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    cells = decompose(workload_ids, platforms, args.scale, seeds)
+
+    config = {
+        "workloads": workload_ids,
+        "platforms": platforms,
+        "scale": args.scale,
+        "seeds": seeds,
+    }
+    chash = config_hash(config)
+    name = args.name or "sweep"
+    checkpoint = SweepCheckpoint(
+        args.runs_dir, sweep_id(name, chash, args.seed)
+    )
+    if args.resume and not checkpoint.exists():
+        print(f"no checkpoint for this sweep config yet; starting fresh",
+              file=sys.stderr)
+    checkpoint.initialise(
+        config_hash=chash, seed=args.seed, config=config,
+        n_cells=len(cells),
+    )
+    executor = SweepExecutor(jobs=args.jobs, cell_timeout=args.cell_timeout)
+    outcome = executor.run(cells, checkpoint=checkpoint, resume=args.resume)
+
+    if outcome.quarantined:
+        print(
+            f"sweep incomplete: {len(outcome.quarantined)} of "
+            f"{len(cells)} cell(s) quarantined",
+            file=sys.stderr,
+        )
+        print(outcome.render_quarantine(), file=sys.stderr)
+        print("re-run with --resume after fixing the cause", file=sys.stderr)
+        return 1
+
+    merged = merge_results(cells, outcome.results,
+                           single_seed=len(seeds) == 1)
+    experiment = f"sweep.{args.name}" if args.name else "sweep"
+    record = RunRecord(
+        experiment=experiment,
+        kind="sweep",
+        metrics=merged,
+        provenance=build_provenance(
+            experiment=experiment,
+            seed=args.seed,
+            scale=args.scale,
+            platforms=[platform_for(key).name for key in platforms],
+            config=config,
+        ),
+        timings={f"exec.{k}": v for k, v in outcome.telemetry.items()},
+    )
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"sweep of {len(workload_ids)} workload(s) x {len(platforms)} "
+        f"platform(s) x {len(seeds)} seed(s) = {len(cells)} cells "
+        f"({len(merged)} metrics)"
+    )
+    for line in telemetry_lines(outcome.telemetry):
+        print(f"  {line}")
+    _save_record(args, record)
     return 0
 
 
@@ -521,13 +693,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the registry run-record schema instead of a table",
     )
 
+    def add_executor_flags(sub) -> None:
+        sub.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the characterization sweep "
+                 "(default 1: serial in-process)",
+        )
+        sub.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="S",
+            help="wall-clock seconds one sweep cell may take before its "
+                 "worker is SIGKILLed and the cell retried (default 300)",
+        )
+        sub.add_argument(
+            "--resume", action="store_true",
+            help="resume from this configuration's sweep checkpoint, "
+                 "re-running only incomplete cells",
+        )
+
     fig_parser = commands.add_parser("fig", help="regenerate a figure")
     fig_parser.add_argument("figure", help="1-5 or 'locality' (6-9)")
     fig_parser.add_argument("--seed", type=int, default=0)
+    add_executor_flags(fig_parser)
 
     table_parser = commands.add_parser("table", help="regenerate a table")
     table_parser.add_argument("table", help="1, 2 or 4")
     table_parser.add_argument("--seed", type=int, default=0)
+    add_executor_flags(table_parser)
+
+    sweep_parser = commands.add_parser(
+        "sweep",
+        help="characterize a workload x platform x seed matrix across "
+             "supervised worker processes, with checkpoint/resume",
+    )
+    sweep_parser.add_argument(
+        "--workloads", default=None, metavar="A,B,...",
+        help="comma-separated workload ids (default: the 17 "
+             "representatives)",
+    )
+    sweep_parser.add_argument(
+        "--platforms", default="e5645", metavar="P,Q",
+        help="comma-separated platforms: e5645, d510 (default e5645)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="first seed of the matrix (default 0)",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="number of consecutive seeds starting at --seed (default 1)",
+    )
+    sweep_parser.add_argument(
+        "--name", default=None,
+        help="sweep name, used in the record id and checkpoint key "
+             "(default 'sweep')",
+    )
+    sweep_parser.add_argument("--json", action="store_true")
+    add_executor_flags(sweep_parser)
 
     stacks_parser = commands.add_parser(
         "stacks", help="the §5.5 software-stack study"
@@ -666,6 +887,7 @@ _HANDLERS = {
     "reduce": _cmd_reduce,
     "fig": _cmd_fig,
     "table": _cmd_table,
+    "sweep": _cmd_sweep,
     "stacks": _cmd_stacks,
     "system": _cmd_system,
     "faults": _cmd_faults,
@@ -676,9 +898,46 @@ _HANDLERS = {
 }
 
 
+def _validate_args(args) -> None:
+    """Range-check shared numeric options before any work starts."""
+    from repro.errors import InvalidParameterError
+
+    scale = getattr(args, "scale", None)
+    if scale is not None and not (0 < scale <= 100):
+        raise InvalidParameterError(
+            f"--scale must be in (0, 100], got {scale!r}"
+        )
+    seed = getattr(args, "seed", None)
+    if seed is not None and seed < 0:
+        raise InvalidParameterError(f"--seed must be >= 0, got {seed!r}")
+    seeds = getattr(args, "seeds", None)
+    if seeds is not None and seeds < 1:
+        raise InvalidParameterError(f"--seeds must be >= 1, got {seeds!r}")
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None and jobs < 1:
+        raise InvalidParameterError(f"--jobs must be >= 1, got {jobs!r}")
+    cell_timeout = getattr(args, "cell_timeout", None)
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise InvalidParameterError(
+            f"--cell-timeout must be > 0, got {cell_timeout!r}"
+        )
+
+
 def main(argv=None) -> int:
+    from repro.errors import FaultPlanError, UsageError
+
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        _validate_args(args)
+        return _HANDLERS[args.command](args)
+    except UsageError as error:
+        # Bad input is a one-line answer, never a traceback (exit 2).
+        print(f"{type(error).__name__}: {error}", file=sys.stderr)
+        return error.exit_code
+    except FaultPlanError as error:
+        # Malformed replay/fault plans are input errors too.
+        print(f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

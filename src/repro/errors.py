@@ -19,6 +19,15 @@ wrong without parsing messages:
 - :class:`JobFailedError` — the recovery policy gave up on a job (or
   forbids recovery altogether, the MPI/Impala behaviour).  Re-homed
   here from ``repro.stacks.scheduler``, which still re-exports it.
+- :class:`UsageError` — the *user's input* was wrong (unknown workload
+  id, invalid ``--seed``/``--scale``, missing ``--replay`` file).  The
+  CLI maps the whole family to a one-line message and exit code 2, so
+  bad input never produces a traceback.
+- :class:`ExecError` — the parallel sweep executor could not complete
+  or trust a sweep: a checkpoint is corrupt or belongs to a different
+  configuration (:class:`CheckpointError`), or a cell result failed its
+  provenance-hash validation at merge time
+  (:class:`CellIntegrityError`).
 
 Every error carries an optional ``context`` dict of diagnostic
 key/values (sim time, node, wave, task indices) rendered into ``str()``
@@ -60,3 +69,51 @@ class FaultPlanError(SimulationError, ValueError):
 
 class JobFailedError(SimulationError):
     """The recovery policy gave up (or forbids recovery altogether)."""
+
+
+class UsageError(Exception):
+    """The user's input was wrong; report one line and exit 2.
+
+    ``exit_code`` is what the CLI returns for the whole family; the
+    message alone must be enough to correct the invocation.
+    """
+
+    exit_code = 2
+
+    def __init__(self, message: str, **context):
+        self.context = context
+        if context:
+            detail = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+            message = f"{message} [{detail}]"
+        self._message = message
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self._message
+
+
+class UnknownWorkloadError(UsageError, KeyError):
+    """A workload id is not in the catalog.
+
+    Also a ``KeyError`` so pre-typed lookup callers keep working.
+    """
+
+
+class InvalidParameterError(UsageError, ValueError):
+    """A CLI parameter value is out of range or malformed."""
+
+
+class ReplayFileError(UsageError):
+    """A ``--replay`` path is missing or unreadable."""
+
+
+class ExecError(SimulationError):
+    """The parallel sweep executor failed in a way retry cannot fix."""
+
+
+class CheckpointError(ExecError):
+    """A sweep checkpoint is corrupt or from a different sweep config."""
+
+
+class CellIntegrityError(ExecError):
+    """A cell result's provenance hash does not match its payload."""

@@ -1,0 +1,49 @@
+"""``repro.exec``: the supervised parallel sweep executor.
+
+Decomposes an experiment session into independent seeded cells
+(:mod:`~repro.exec.cells`), runs them across N supervised worker
+processes with timeouts, heartbeat hang detection, capped-backoff
+retry, poison-cell quarantine and serial degradation
+(:mod:`~repro.exec.supervisor` / :mod:`~repro.exec.pool`), journals
+progress crash-safely for ``--resume`` (:mod:`~repro.exec.checkpoint`),
+and merges cells back into one record only after provenance-hash
+validation (:mod:`~repro.exec.merge`).
+"""
+
+from repro.exec.cells import (  # noqa: F401
+    DEFAULT_CELL_FN,
+    CellResult,
+    SweepCell,
+    decompose,
+    platform_for,
+    provenance_hash,
+)
+from repro.exec.checkpoint import (  # noqa: F401
+    SweepCheckpoint,
+    sweep_id,
+)
+from repro.exec.merge import (  # noqa: F401
+    merge_results,
+    telemetry_lines,
+    validate_cell,
+)
+from repro.exec.supervisor import (  # noqa: F401
+    SweepExecutor,
+    SweepOutcome,
+)
+
+__all__ = [
+    "DEFAULT_CELL_FN",
+    "CellResult",
+    "SweepCell",
+    "SweepCheckpoint",
+    "SweepExecutor",
+    "SweepOutcome",
+    "decompose",
+    "merge_results",
+    "platform_for",
+    "provenance_hash",
+    "sweep_id",
+    "telemetry_lines",
+    "validate_cell",
+]

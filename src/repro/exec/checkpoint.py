@@ -1,0 +1,197 @@
+"""Crash-safe sweep checkpoints: append-only journal + atomic snapshot.
+
+Layout, under ``<runs dir>/sweeps/<sweep_id>/``:
+
+- ``manifest.json`` — the sweep's identity: config hash, seed, the
+  config itself and the cell count.  Written atomically once, checked
+  on resume so a checkpoint can never be resumed under a different
+  configuration.
+- ``journal.jsonl`` — one line per completed cell, appended with
+  flush + fsync *before* the supervisor considers the cell done.  A
+  SIGKILL at any instant loses at most the in-flight cells; a torn
+  final line (crash mid-append) is detected and dropped on load.
+- ``snapshot.json`` — a periodic full snapshot written via tmp-file +
+  ``os.replace`` (+ fsync), bounding journal replay time.  If it is
+  corrupt the journal alone still reconstructs the state; the bad file
+  is quarantined to ``snapshot.json.corrupt``.
+
+The durable key is (config hash, seed): ``repro sweep --resume`` finds
+the checkpoint by recomputing the hash from its arguments, so "the same
+sweep" is a property of the request, not of a process lifetime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from repro.errors import CheckpointError
+from repro.exec.cells import CellResult
+from repro.obs.registry import (
+    atomic_write_json,
+    fsync_dir,
+    quarantine_corrupt,
+)
+
+#: Bumped on incompatible checkpoint-layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Default cells between snapshot rewrites.
+SNAPSHOT_EVERY = 10
+
+
+def sweep_id(name: str, config_hash: str, seed: int) -> str:
+    """The durable checkpoint key for one sweep request."""
+    return f"{name}-{config_hash}-s{seed}"
+
+
+class SweepCheckpoint:
+    """Journaled progress of one sweep, resumable after any crash."""
+
+    def __init__(self, root: str, sweep: str, *,
+                 snapshot_every: int = SNAPSHOT_EVERY):
+        self.dir = os.path.join(root, "sweeps", sweep)
+        self.sweep = sweep
+        self.snapshot_every = snapshot_every
+        self._journal = None
+        self._since_snapshot = 0
+        self._results: Dict[str, CellResult] = {}
+
+    # ---- paths ------------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.dir, "manifest.json")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.dir, "journal.jsonl")
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.dir, "snapshot.json")
+
+    def exists(self) -> bool:
+        return os.path.isfile(self.manifest_path)
+
+    # ---- lifecycle --------------------------------------------------------
+    def initialise(self, *, config_hash: str, seed: int, config: dict,
+                   n_cells: int) -> None:
+        """Create the checkpoint directory and manifest (idempotent).
+
+        Resuming with a different config hash is refused: a checkpoint
+        answers exactly one (config, seed) request.
+        """
+        os.makedirs(self.dir, exist_ok=True)
+        if self.exists():
+            manifest = self.manifest()
+            if manifest.get("config_hash") != config_hash:
+                raise CheckpointError(
+                    f"checkpoint {self.sweep!r} belongs to config "
+                    f"{manifest.get('config_hash')!r}, not {config_hash!r}; "
+                    f"remove {self.dir} or change --name",
+                )
+            return
+        atomic_write_json(self.manifest_path, {
+            "version": CHECKPOINT_VERSION,
+            "sweep": self.sweep,
+            "config_hash": config_hash,
+            "seed": seed,
+            "config": config,
+            "n_cells": n_cells,
+        })
+
+    def manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise CheckpointError(
+                f"unreadable sweep manifest {self.manifest_path}: {error}"
+            )
+
+    # ---- writing ----------------------------------------------------------
+    def record(self, result: CellResult) -> None:
+        """Durably journal one finished cell before anything else sees it."""
+        if self._journal is None:
+            os.makedirs(self.dir, exist_ok=True)
+            self._journal = open(self.journal_path, "a", encoding="utf-8")
+        line = json.dumps(result.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        self._journal.write(line + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        self._results[result.cell_id] = result
+        self._since_snapshot += 1
+        if self._since_snapshot >= self.snapshot_every:
+            self.write_snapshot()
+
+    def write_snapshot(self) -> None:
+        """Atomically persist the consolidated state (tmp + replace)."""
+        atomic_write_json(self.snapshot_path, {
+            "version": CHECKPOINT_VERSION,
+            "sweep": self.sweep,
+            "cells": {
+                cell_id: result.to_dict()
+                for cell_id, result in sorted(self._results.items())
+            },
+        })
+        self._since_snapshot = 0
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+        if self._results:
+            self.write_snapshot()
+        fsync_dir(self.dir)
+
+    # ---- reading ----------------------------------------------------------
+    def load(self) -> Dict[str, CellResult]:
+        """Reconstruct completed cells: snapshot first, journal on top.
+
+        Tolerates a torn final journal line (crash mid-append) and a
+        corrupt snapshot (quarantined aside); either source alone is
+        enough to resume.
+        """
+        self._results = {}
+        if os.path.isfile(self.snapshot_path):
+            try:
+                with open(self.snapshot_path, "r", encoding="utf-8") as handle:
+                    snapshot = json.load(handle)
+                for data in snapshot.get("cells", {}).values():
+                    result = CellResult.from_dict(data)
+                    self._results[result.cell_id] = result
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                    ValueError):
+                self._results = {}
+                quarantine_corrupt(self.snapshot_path)
+        if os.path.isfile(self.journal_path):
+            with open(self.journal_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        result = CellResult.from_dict(json.loads(line))
+                    except (json.JSONDecodeError, KeyError, ValueError):
+                        # Torn tail from a crash mid-append: everything
+                        # before it is intact, the in-flight cell reruns.
+                        continue
+                    self._results[result.cell_id] = result
+        return dict(self._results)
+
+    def completed(self) -> Dict[str, CellResult]:
+        """Cells that finished OK (quarantined ones rerun on resume)."""
+        return {
+            cell_id: result
+            for cell_id, result in self._results.items()
+            if result.status == "ok"
+        }
+
+
+def prune_results(results: Dict[str, CellResult],
+                  wanted: Iterable[str]) -> Dict[str, CellResult]:
+    """Restrict loaded results to the cells a sweep actually contains."""
+    wanted_set = set(wanted)
+    return {k: v for k, v in results.items() if k in wanted_set}

@@ -1,0 +1,192 @@
+"""Worker processes for the sweep executor.
+
+One worker is one forked process running :func:`_worker_main`: it
+receives cell specs over a private pipe, runs them, and reports on a
+queue shared with the supervisor.  A daemon heartbeat thread beats
+every ``heartbeat_interval`` seconds while a cell is in flight, so the
+supervisor can tell a *slow* cell (beats arriving, deadline not yet
+passed) from a *frozen* worker (no beats: SIGSTOPped, deadlocked in C,
+or already dead) without waiting for the full cell timeout.
+
+Messages on the result queue (tuples, first element is the kind):
+
+- ``("ready", worker_id)`` — worker finished booting
+- ``("heartbeat", worker_id, cell_id)`` — still alive on this cell
+- ``("ok", worker_id, cell_id, payload, seconds)`` — cell done
+- ``("error", worker_id, cell_id, error_type, message, seconds)`` —
+  the cell callable raised; the worker itself is still healthy
+
+Workers never write checkpoints or records: the supervisor is the
+single writer, so crash-safety reasoning stays in one place.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exec.cells import run_cell
+
+#: Seconds between worker heartbeats while a cell runs.
+HEARTBEAT_INTERVAL = 0.2
+
+#: Fork keeps sys.path / imported state and is the start method whose
+#: workers inherit the parent's deterministic hash seed.
+_CTX = mp.get_context("fork")
+
+
+def _worker_main(worker_id: int, conn, results, heartbeat_interval: float,
+                 ) -> None:
+    """Worker loop: recv spec, run, report; ``None`` means shut down."""
+    state = {"cell": None}
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            cell_id = state["cell"]
+            if cell_id is not None:
+                try:
+                    results.put(("heartbeat", worker_id, cell_id))
+                except Exception:
+                    return  # queue torn down; supervisor is gone
+
+    threading.Thread(target=beat, daemon=True).start()
+    results.put(("ready", worker_id))
+    while True:
+        try:
+            spec = conn.recv()
+        except (EOFError, OSError):
+            break
+        if spec is None:
+            break
+        cell_id = spec["cell_id"]
+        state["cell"] = cell_id
+        started = time.perf_counter()
+        try:
+            payload = run_cell(spec)
+        except KeyboardInterrupt:
+            break
+        except BaseException as error:  # report, stay alive for more cells
+            results.put((
+                "error", worker_id, cell_id,
+                type(error).__name__, str(error),
+                time.perf_counter() - started,
+            ))
+        else:
+            results.put((
+                "ok", worker_id, cell_id, payload,
+                time.perf_counter() - started,
+            ))
+        finally:
+            state["cell"] = None
+    stop.set()
+
+
+@dataclass
+class WorkerHandle:
+    """The supervisor's view of one worker process."""
+
+    worker_id: int
+    process: mp.Process = None
+    conn: object = None  # parent end of the task pipe
+    #: In-flight cell spec (None when idle).
+    cell: Optional[dict] = None
+    #: Monotonic deadline for the in-flight cell (wall-clock timeout).
+    deadline: float = 0.0
+    #: Monotonic time of the last sign of life for the in-flight cell.
+    last_beat: float = 0.0
+    #: Monotonic dispatch time (queue-wait + runtime accounting).
+    dispatched_at: float = 0.0
+    #: Heartbeats received for the in-flight cell; a worker that never
+    #: beat may just be slow to boot, so it gets a grace period before
+    #: stall detection applies.
+    beats: int = 0
+    ready: bool = False
+    retired: bool = field(default=False)
+
+    @property
+    def busy(self) -> bool:
+        return self.cell is not None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def send(self, spec: Optional[dict]) -> bool:
+        """Ship a cell spec (or ``None`` shutdown) to the worker."""
+        try:
+            self.conn.send(spec)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def kill(self) -> None:
+        """SIGKILL escalation: no grace, the cell will be retried."""
+        if self.process is None:
+            return
+        try:
+            self.process.kill()  # SIGKILL; also fells SIGSTOPped workers
+        except (OSError, AttributeError):
+            pass
+        self.process.join(timeout=5.0)
+        self._close()
+
+    def terminate(self) -> None:
+        """Polite shutdown used at pool teardown, escalating if ignored."""
+        self.send(None)
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.kill()
+                return
+        self._close()
+
+    def _close(self) -> None:
+        try:
+            self.conn.close()
+        except (OSError, AttributeError):
+            pass
+        self.retired = True
+
+
+def spawn_worker(worker_id: int, results,
+                 heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 ) -> WorkerHandle:
+    """Fork one worker and return its handle (not yet marked ready)."""
+    parent_conn, child_conn = _CTX.Pipe()
+    process = _CTX.Process(
+        target=_worker_main,
+        args=(worker_id, child_conn, results, heartbeat_interval),
+        daemon=True,
+        name=f"repro-sweep-worker-{worker_id}",
+    )
+    process.start()
+    child_conn.close()
+    now = time.monotonic()
+    return WorkerHandle(
+        worker_id=worker_id, process=process, conn=parent_conn,
+        last_beat=now,
+    )
+
+
+def make_result_queue():
+    """The shared worker->supervisor queue."""
+    return _CTX.Queue()
+
+
+def default_jobs() -> int:
+    """A conservative worker-count default: cores, capped at 8."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    return max(1, min(8, cores))
+
+
+def self_sigkill() -> None:  # pragma: no cover - used by failure tests
+    """Kill the current process the hard way (test helper)."""
+    os.kill(os.getpid(), signal.SIGKILL)

@@ -48,6 +48,59 @@ def runs_dir_default() -> str:
     return os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
 
 
+def fsync_dir(path: str) -> None:
+    """Best-effort fsync of a directory (rename durability)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: object) -> None:
+    """Crash-safe JSON write: tmp file + fsync + ``os.replace``.
+
+    A reader never observes a half-written file: either the old content
+    (or nothing) or the complete new content exists at ``path``.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_dir(os.path.dirname(path) or ".")
+
+
+def quarantine_corrupt(path: str) -> str:
+    """Move an unreadable record aside to ``<file>.corrupt`` and warn.
+
+    Returns the quarantine path (a numeric suffix disambiguates repeat
+    offenders).  Never raises: if the rename itself fails the original
+    file is left in place and only the warning is printed.
+    """
+    target, n = f"{path}.corrupt", 1
+    while os.path.exists(target):
+        target = f"{path}.corrupt.{n}"
+        n += 1
+    try:
+        os.replace(path, target)
+    except OSError:
+        target = path
+    print(
+        f"warning: run record {path} is truncated or corrupt; "
+        f"quarantined to {target}",
+        file=sys.stderr,
+    )
+    return target
+
+
 def _git_sha() -> str:
     """The current commit SHA, or ``"unknown"`` outside a checkout."""
     try:
@@ -192,9 +245,7 @@ class RunRegistry:
                 n += 1
             record.run_id = run_id
         path = self._path(record.run_id)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(record.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(path, record.to_dict())
         return path
 
     def _path(self, run_id: str) -> str:
@@ -213,9 +264,16 @@ class RunRegistry:
         for name in sorted(os.listdir(self.root)):
             if not name.endswith(".json"):
                 continue
+            path = os.path.join(self.root, name)
             try:
-                record = self.load_path(os.path.join(self.root, name))
-            except (ValueError, KeyError, json.JSONDecodeError):
+                record = self.load_path(path)
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+                # Truncated or corrupt on disk (a crash mid-write under a
+                # pre-atomic writer): move it aside so report/history keep
+                # working, and keep the evidence for inspection.
+                quarantine_corrupt(path)
+                continue
+            except (ValueError, KeyError):
                 continue  # foreign or future-schema file; not ours to read
             if experiment is None or record.experiment == experiment:
                 loaded.append(record)

@@ -314,14 +314,22 @@ class History:
     run_ids: List[str] = field(default_factory=list)
     created_at: List[str] = field(default_factory=list)
     series: Dict[str, List[Optional[float]]] = field(default_factory=dict)
+    #: Executor telemetry (``exec.*`` keys of the quarantined timings):
+    #: shown alongside — but never diffed with — the metric series.
+    telemetry: Dict[str, List[Optional[float]]] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "experiment": self.experiment,
             "runs": list(self.run_ids),
             "created_at": list(self.created_at),
             "series": {k: list(v) for k, v in self.series.items()},
         }
+        if self.telemetry:
+            data["telemetry"] = {
+                k: list(v) for k, v in self.telemetry.items()
+            }
+        return data
 
     def render(self) -> str:
         if not self.run_ids:
@@ -344,6 +352,20 @@ class History:
                 f"last={present[-1]:.6g} min={min(present):.6g} "
                 f"max={max(present):.6g}"
             )
+        if self.telemetry:
+            lines.append("executor telemetry (wall-clock; never diffed):")
+            t_width = max(len(name) for name in self.telemetry)
+            for name in sorted(self.telemetry):
+                values = self.telemetry[name]
+                present = [v for v in values if v is not None]
+                if not present:
+                    continue
+                spark = sparkline([
+                    v if v is not None else float("nan") for v in values
+                ])
+                lines.append(
+                    f"  {name:<{t_width}s} {spark} last={present[-1]:.6g}"
+                )
         return "\n".join(lines)
 
     def to_html(self) -> str:
@@ -401,4 +423,14 @@ def history(
     )
     for name in names:
         result.series[name] = [record.metrics.get(name) for record in records]
+    exec_keys = sorted({
+        name
+        for record in records
+        for name in record.timings
+        if name.startswith("exec.")
+    })
+    for name in exec_keys:
+        result.telemetry[name] = [
+            record.timings.get(name) for record in records
+        ]
     return result

@@ -210,6 +210,74 @@ class PerfCounters:
         values = self.metric_dict()
         return np.array([values[name] for name in METRIC_NAMES])
 
+    # ---- lossless serialisation ------------------------------------------
+    # The sweep executor ships samples between worker processes as JSON;
+    # raw fields (not derived ratios) round-trip exactly, so a rehydrated
+    # sample is bit-identical to one characterized in-process.
+    def to_dict(self) -> dict:
+        """Full-fidelity JSON form (inverse of :meth:`from_dict`)."""
+        data = {
+            "workload": self.workload,
+            "platform": self.platform,
+            "instructions": self.instructions,
+            "mix_counts": {
+                cls.value: count for cls, count in self.mix.counts.items()
+            },
+            "int_breakdown": {
+                "int_addr": self.int_breakdown.int_addr,
+                "fp_addr": self.int_breakdown.fp_addr,
+                "other": self.int_breakdown.other,
+            },
+            "branch_stats": {
+                "branches": self.branch_stats.branches,
+                "mispredictions": self.branch_stats.mispredictions,
+                "misfetches": self.branch_stats.misfetches,
+                "btb_miss_ratio": self.branch_stats.btb_miss_ratio,
+            },
+            "pipeline": {
+                "cpi": self.pipeline.cpi,
+                "ipc": self.pipeline.ipc,
+                "base_cpi": self.pipeline.base_cpi,
+                "frontend_stall_cpi": self.pipeline.frontend_stall_cpi,
+                "branch_stall_cpi": self.pipeline.branch_stall_cpi,
+                "backend_stall_cpi": self.pipeline.backend_stall_cpi,
+                "mlp": self.pipeline.mlp,
+            },
+        }
+        for name in _SCALAR_FIELDS:
+            data[name] = getattr(self, name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PerfCounters":
+        """Rehydrate a sample serialised by :meth:`to_dict`."""
+        mix = InstructionMix()
+        for name, count in data["mix_counts"].items():
+            mix.counts[InstructionClass(name)] = float(count)
+        return cls(
+            workload=data["workload"],
+            platform=data["platform"],
+            instructions=float(data["instructions"]),
+            mix=mix,
+            int_breakdown=IntBreakdown(**data["int_breakdown"]),
+            branch_stats=BranchStats(**data["branch_stats"]),
+            pipeline=PipelineStats(**data["pipeline"]),
+            **{name: float(data[name]) for name in _SCALAR_FIELDS},
+        )
+
+
+#: The flat float attributes of :class:`PerfCounters` (everything except
+#: the nested mix/breakdown/branch/pipeline structures and identity).
+_SCALAR_FIELDS = (
+    "l1i_mpki", "l1i_miss_ratio", "l1d_mpki", "l1d_miss_ratio",
+    "l2_mpki", "l2_miss_ratio", "l3_mpki", "l3_miss_ratio",
+    "l2_instruction_share", "itlb_mpki", "itlb_miss_ratio",
+    "dtlb_mpki", "dtlb_miss_ratio", "offcore_read_pki",
+    "offcore_write_pki", "offcore_bandwidth_gbps", "snoop_hit_ratio",
+    "snoop_hitm_ratio", "tlp", "speculation_ratio", "int_ops_per_byte",
+    "fp_ops_per_byte", "instructions_per_byte", "gflops", "ilp",
+)
+
 
 def characterize(
     profile: BehaviorProfile,

@@ -416,7 +416,9 @@ def workload(workload_id: str) -> WorkloadDefinition:
     try:
         return _BY_ID[workload_id]
     except KeyError:
-        raise KeyError(
+        from repro.errors import UnknownWorkloadError
+
+        raise UnknownWorkloadError(
             f"unknown workload {workload_id!r}; known ids include "
-            f"{sorted(_BY_ID)[:8]}..."
+            f"{sorted(_BY_ID)[:8]}... (see `repro list`)"
         ) from None

@@ -1,0 +1,107 @@
+"""Deliberately misbehaving cell callables for executor failure tests.
+
+Workers resolve these by dotted path (``tests.exec_cells.<name>``), so
+each function must be importable in a fresh process.  Cross-process
+state (attempt counts) lives in files under ``spec["extra"]["dir"]`` —
+a cell is never executed twice concurrently (the supervisor kills a
+worker before requeueing its cell), so plain files are race-free.
+"""
+
+import os
+import signal
+import time
+
+
+def _extra(spec):
+    return spec.get("extra", {})
+
+
+def _attempt_count(spec):
+    """Count this cell's executions across all processes (1-based)."""
+    state_dir = _extra(spec)["dir"]
+    name = spec["cell_id"].replace("/", "_").replace("@", "_")
+    path = os.path.join(state_dir, f"{name}.attempts")
+    count = 1
+    if os.path.exists(path):
+        with open(path) as handle:
+            count = int(handle.read() or 0) + 1
+    with open(path, "w") as handle:
+        handle.write(str(count))
+    return count
+
+
+def ok_cell(spec):
+    """Deterministic metrics from the spec alone (counts attempts too)."""
+    if "dir" in _extra(spec):
+        _attempt_count(spec)
+    return {
+        "metrics": {
+            "value": float(spec["seed"]) * 10.0 + len(spec["workload"]),
+            "scale": float(spec["scale"]),
+        }
+    }
+
+
+def crash_cell(spec):
+    """Fails identically every time: the poison-cell shape."""
+    _attempt_count(spec)
+    raise RuntimeError(f"deterministic boom in {spec['workload']}")
+
+
+def flaky_cell(spec):
+    """Fails the first ``fail_times`` attempts, then succeeds."""
+    attempt = _attempt_count(spec)
+    fail_times = int(_extra(spec).get("fail_times", 1))
+    if attempt <= fail_times:
+        raise RuntimeError(f"transient failure, attempt {attempt}")
+    return {"metrics": {"value": 42.0}}
+
+
+def sigkill_once_cell(spec):
+    """SIGKILLs its own worker on the first attempt: a mid-cell crash."""
+    attempt = _attempt_count(spec)
+    if attempt <= int(_extra(spec).get("kill_times", 1)):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"metrics": {"value": 7.0}}
+
+
+def hang_once_cell(spec):
+    """Sleeps past any cell timeout on the first attempt.
+
+    Heartbeats keep flowing while it sleeps, so this exercises the
+    wall-clock deadline specifically, not stall detection.
+    """
+    attempt = _attempt_count(spec)
+    if attempt <= 1:
+        time.sleep(600)
+    return {"metrics": {"value": 5.0}}
+
+
+def freeze_once_cell(spec):
+    """SIGSTOPs its own worker on the first attempt.
+
+    A stopped process sends no heartbeats: this exercises stall
+    detection (the supervisor's SIGKILL also fells stopped processes).
+    """
+    attempt = _attempt_count(spec)
+    if attempt <= 1:
+        os.kill(os.getpid(), signal.SIGSTOP)
+    return {"metrics": {"value": 9.0}}
+
+
+def kill_worker_cell(spec):
+    """SIGKILLs every process except the supervisor itself.
+
+    Drives worker restarts until the executor degrades to serial
+    execution, where (running in the supervisor's process) it succeeds.
+    """
+    main_pid = int(_extra(spec)["main_pid"])
+    if os.getpid() != main_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"metrics": {"value": 3.0}}
+
+
+def slow_cell(spec):
+    """Takes a bounded but non-trivial time; used for kill/resume."""
+    time.sleep(float(_extra(spec).get("seconds", 0.5)))
+    return ok_cell(spec)

@@ -94,9 +94,19 @@ class TestCommands:
     def test_unknown_table(self, capsys):
         assert main(["table", "9"]) == 2
 
-    def test_unknown_workload_raises(self):
+    def test_unknown_workload_exits_2_with_typed_error(self, capsys):
+        # The repro.errors.UsageError family maps to exit 2, one line,
+        # no traceback — uniformly across verbs.
+        assert main(["run", "Nope"]) == 2
+        err = capsys.readouterr().err
+        assert "UnknownWorkloadError" in err
+        assert "Nope" in err
+
+    def test_lookup_still_raises_keyerror_for_library_callers(self):
+        from repro.workloads import workload
+
         with pytest.raises(KeyError):
-            main(["run", "Nope"])
+            workload("Nope")
 
     def test_run_json(self, capsys):
         import json

@@ -1,0 +1,134 @@
+"""Crash-safety of sweep checkpoints and the hardened run registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.exec.cells import CellResult
+from repro.exec.checkpoint import SweepCheckpoint, sweep_id
+from repro.obs.registry import (
+    RunRegistry,
+    atomic_write_json,
+    quarantine_corrupt,
+)
+
+
+def result_for(cell_id, value=1.0, status="ok"):
+    return CellResult(
+        cell_id=cell_id, status=status, metrics={"value": value},
+        provenance_hash="deadbeefdeadbeef",
+    )
+
+
+class TestSweepCheckpoint:
+    def test_journal_and_snapshot_round_trip(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0",
+                                     snapshot_every=2)
+        checkpoint.initialise(config_hash="h", seed=0,
+                              config={"k": 1}, n_cells=3)
+        for i in range(3):
+            checkpoint.record(result_for(f"c{i}", value=float(i)))
+        checkpoint.close()
+
+        loaded = SweepCheckpoint(str(tmp_path), "s-h-s0").load()
+        assert sorted(loaded) == ["c0", "c1", "c2"]
+        assert loaded["c1"].metrics["value"] == 1.0
+
+    def test_torn_journal_tail_is_dropped(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=2)
+        checkpoint.record(result_for("c0"))
+        with open(checkpoint.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "c1", "status": "o')  # crash mid-write
+        loaded = SweepCheckpoint(str(tmp_path), "s-h-s0").load()
+        assert sorted(loaded) == ["c0"]
+
+    def test_corrupt_snapshot_falls_back_to_journal(self, tmp_path, capsys):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0",
+                                     snapshot_every=1)
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=1)
+        checkpoint.record(result_for("c0"))
+        with open(checkpoint.snapshot_path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        fresh = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        assert sorted(fresh.load()) == ["c0"]
+        assert os.path.exists(checkpoint.snapshot_path + ".corrupt")
+
+    def test_resume_under_different_config_refused(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=1)
+        other = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        with pytest.raises(CheckpointError):
+            other.initialise(config_hash="DIFFERENT", seed=0, config={},
+                             n_cells=1)
+
+    def test_later_journal_entry_wins(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=1)
+        checkpoint.record(result_for("c0", status="quarantined"))
+        checkpoint.record(result_for("c0", value=5.0, status="ok"))
+        loaded = SweepCheckpoint(str(tmp_path), "s-h-s0").load()
+        assert loaded["c0"].status == "ok"
+        assert loaded["c0"].metrics["value"] == 5.0
+
+    def test_sweep_id_is_config_and_seed_keyed(self):
+        assert sweep_id("sweep", "abc123", 7) == "sweep-abc123-s7"
+
+
+class TestAtomicWrites:
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        path = str(tmp_path / "x.json")
+        atomic_write_json(path, {"a": 1})
+        atomic_write_json(path, {"a": 2})
+        assert json.load(open(path)) == {"a": 2}
+        assert os.listdir(tmp_path) == ["x.json"]
+
+    def test_quarantine_corrupt_moves_aside(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.json")
+        open(path, "w").write("{ nope")
+        moved = quarantine_corrupt(path)
+        assert moved.endswith(".corrupt")
+        assert not os.path.exists(path)
+        assert "quarantined" in capsys.readouterr().err
+
+
+class TestRegistryHardening:
+    def test_corrupt_record_quarantined_not_fatal(self, tmp_path, capsys):
+        registry = RunRegistry(str(tmp_path))
+        from repro.obs.registry import RunRecord, build_provenance
+
+        record = RunRecord(
+            experiment="fig3", kind="experiment",
+            metrics={"m": 1.0},
+            provenance=build_provenance(
+                experiment="fig3", seed=0, scale=0.3, platforms=["X"]
+            ),
+        )
+        registry.save(record)
+        # A truncated record (pre-atomic writer killed mid-write).
+        bad = os.path.join(str(tmp_path), "zz-truncated.json")
+        open(bad, "w").write('{"schema_version": 1, "experiment": "fi')
+
+        records = registry.records()
+        assert [r.experiment for r in records] == ["fig3"]
+        assert not os.path.exists(bad)
+        assert os.path.exists(bad + ".corrupt")
+        assert "quarantined" in capsys.readouterr().err
+        # The quarantined file is not rescanned next time.
+        assert len(registry.records()) == 1
+
+    def test_save_is_atomic_no_partials_visible(self, tmp_path):
+        registry = RunRegistry(str(tmp_path))
+        from repro.obs.registry import RunRecord, build_provenance
+
+        record = RunRecord(
+            experiment="fig3", kind="experiment", metrics={"m": 1.0},
+            provenance=build_provenance(
+                experiment="fig3", seed=0, scale=0.3, platforms=["X"]
+            ),
+        )
+        path = registry.save(record)
+        assert os.path.basename(path) in os.listdir(tmp_path)
+        assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
