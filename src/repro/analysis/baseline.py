@@ -1,0 +1,143 @@
+"""Baseline handling: grandfather deliberate findings, gate new ones.
+
+The committed baseline (``tools/lint_baseline.json``) records findings
+we reviewed and chose to keep, keyed by ``(rule, module, stripped line
+text)`` with a multiplicity — never by line number, so unrelated edits
+that shift lines don't invalidate it.  ``repro lint`` then fails only
+when the tree contains a finding (or an extra copy of one) that the
+baseline doesn't cover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import LintBaselineError
+
+BASELINE_VERSION = 1
+
+#: Repo-relative location of the committed baseline.
+BASELINE_RELPATH = os.path.join("tools", "lint_baseline.json")
+
+
+def default_baseline_path() -> Optional[str]:
+    """Find the committed baseline from the CWD or the checkout.
+
+    Tries ``tools/lint_baseline.json`` relative to the working
+    directory first (the common case: running from the repo root), then
+    relative to the installed package's checkout.  Returns ``None``
+    when neither exists — every finding is then "new".
+    """
+    if os.path.isfile(BASELINE_RELPATH):
+        return BASELINE_RELPATH
+    import repro
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    checkout = os.path.dirname(os.path.dirname(package_dir))
+    candidate = os.path.join(checkout, BASELINE_RELPATH)
+    if os.path.isfile(candidate):
+        return candidate
+    return None
+
+
+def baseline_counts(findings: Sequence[Finding]) -> Counter:
+    """Multiset of finding keys, the baseline's comparison unit."""
+    return Counter(finding.key() for finding in findings)
+
+
+def load_baseline(path: str) -> Counter:
+    """Read a baseline file into a key-multiset.
+
+    Raises :class:`LintBaselineError` (a usage error: exit 2) when the
+    file is missing, unreadable or malformed — a silently empty
+    baseline would make CI fail on every grandfathered finding.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise LintBaselineError(f"cannot read baseline {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise LintBaselineError(f"baseline {path} is not valid JSON: {error}")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise LintBaselineError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(this build reads {BASELINE_VERSION})"
+        )
+    counts: Counter = Counter()
+    for entry in data.get("findings", []):
+        try:
+            key = (entry["rule"], entry["module"], entry["line_text"])
+            counts[key] += int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as error:
+            raise LintBaselineError(
+                f"malformed baseline entry in {path}: {entry!r} ({error})"
+            )
+    return counts
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Write the current findings as the new baseline; returns count."""
+    counts = baseline_counts(findings)
+    entries = [
+        {
+            "rule": rule,
+            "module": module,
+            "line_text": line_text,
+            "count": count,
+        }
+        for (rule, module, line_text), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Findings reviewed and deliberately kept; regenerate with "
+            "`repro lint --update-baseline`.  Matched by (rule, module, "
+            "line text), so line-number shifts don't invalidate entries."
+        ),
+        "findings": entries,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return sum(counts.values())
+
+
+def new_findings(
+    findings: Sequence[Finding], baseline: Counter
+) -> List[Finding]:
+    """Findings not covered by the baseline multiset.
+
+    When the tree has more copies of a key than the baseline allows,
+    the *later* occurrences (by file order) are the new ones.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+def stale_entries(
+    findings: Sequence[Finding], baseline: Counter
+) -> List[Tuple[str, str, str]]:
+    """Baseline keys the tree no longer produces (candidates to drop)."""
+    current = baseline_counts(findings)
+    stale: List[Tuple[str, str, str]] = []
+    for key, count in sorted(baseline.items()):
+        excess = count - current.get(key, 0)
+        if excess > 0:
+            stale.extend([key] * excess)
+    return stale

@@ -1,0 +1,213 @@
+"""The lint engine: file walking, suppression, rule dispatch.
+
+One :class:`ModuleContext` per file carries the parsed tree, the
+import/scope model, a parent map (for "is this call wrapped in
+``sorted(...)``" questions) and the per-line suppression table parsed
+from ``# repro: allow[DET001]`` / ``# repro: allow[DET001,DET004]``
+comments.  A suppression comment matches findings on its own line or on
+the line directly below it (so it can sit above a long statement).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.analysis.rules import ALL_RULES, Rule
+from repro.analysis.scopes import ModuleModel, scoped_walk
+from repro.errors import LintError
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map line number -> rule IDs suppressed on that line.
+
+    A comment suppresses its own line and the next one, so it works
+    both inline and as a standalone comment above the statement.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for index, line in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",")}
+        rules.discard("")
+        for lineno in (index, index + 1):
+            suppressed.setdefault(lineno, set()).update(rules)
+    return suppressed
+
+
+class ModuleContext:
+    """Everything the rules need to know about one source file."""
+
+    def __init__(self, path: str, module: str, source: str):
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.is_package_init = os.path.basename(path) == "__init__.py"
+        self.tree = ast.parse(source, filename=path)
+        self.model = ModuleModel(self.tree)
+        self.suppressions = parse_suppressions(self.lines)
+        self.parents: Dict[int, ast.AST] = {}
+        self._scoped: Optional[List[Tuple[ast.AST, tuple]]] = None
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[id(child)] = parent
+
+    def scoped_nodes(self) -> List[Tuple[ast.AST, tuple]]:
+        """The scope-annotated walk, computed once and shared by rules."""
+        if self._scoped is None:
+            self._scoped = list(scoped_walk(self.tree))
+        return self._scoped
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def is_suppressed(self, lineno: int, rule_id: str) -> bool:
+        return rule_id in self.suppressions.get(lineno, ())
+
+    def make_finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=rule.severity,
+            module=self.module,
+            path=self.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            line_text=self.line_text(lineno),
+            fix_hint=rule.fix_hint,
+        )
+
+
+@dataclass
+class LintReport:
+    """Findings over a tree, plus what was checked and suppressed."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (the default target)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def module_name_for(path: str, root: str) -> str:
+    """Dotted module name of ``path`` relative to the lint root.
+
+    The root directory itself is named by its basename (``repro`` for
+    the real tree), so rule module scoping keys stay meaningful for
+    fixture trees too.
+    """
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    parts = [os.path.basename(os.path.abspath(root))]
+    rel = rel[: -len(".py")] if rel.endswith(".py") else rel
+    for part in rel.split(os.sep):
+        if part in (".", ""):
+            continue
+        parts.append(part)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def lint_file(
+    path: str,
+    module: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one file; returns (findings, suppressed_count)."""
+    chosen = list(rules) if rules is not None else ALL_RULES
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}", path=path)
+    try:
+        ctx = ModuleContext(path, module, source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule_id="SYN000",
+                severity=ERROR,
+                module=module,
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+                line_text=(error.text or "").rstrip("\n"),
+                fix_hint="fix the syntax error; nothing else was checked",
+            )
+        ], 0
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in chosen:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding.line, finding.rule_id):
+                suppressed += 1
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings, suppressed
+
+
+def iter_python_files(root: str) -> Iterator[str]:
+    """Every ``.py`` file under ``root``, sorted for stable reports."""
+    if os.path.isfile(root):
+        yield root
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames
+            if d not in ("__pycache__", ".git") and not d.endswith(".egg-info")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def lint_tree(
+    root: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every Python file under ``root`` (default: the repro package)."""
+    target = root if root is not None else default_lint_root()
+    if not os.path.exists(target):
+        raise LintError(f"lint root {target!r} does not exist", root=target)
+    chosen = list(rules) if rules is not None else ALL_RULES
+    base = target if os.path.isdir(target) else os.path.dirname(target)
+    report = LintReport(rules_run=[rule.rule_id for rule in chosen])
+    for path in iter_python_files(target):
+        module = module_name_for(path, base)
+        findings, suppressed = lint_file(path, module, chosen)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return report

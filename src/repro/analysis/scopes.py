@@ -1,0 +1,201 @@
+"""A lightweight scope/import model over one module's AST.
+
+The rules need to answer "what does this call actually call?" without a
+real type checker.  :class:`ModuleModel` provides just enough:
+
+- an import table mapping local names to dotted origins, so
+  ``from random import Random as R`` still resolves ``R()`` to
+  ``random.Random``, and ``import numpy as np`` resolves
+  ``np.random.default_rng`` to ``numpy.random.default_rng``;
+- per-function bound-name sets, so a parameter or local assignment
+  named ``hash`` or ``time`` shadows the builtin/module and stops the
+  corresponding rule from firing;
+- a scope-aware walk (:func:`scoped_walk`) yielding every node with its
+  chain of enclosing function/class scopes.
+
+This is deliberately flow-insensitive: a name bound *anywhere* in a
+scope shadows for the whole scope.  That trades a little precision for
+zero false resolutions, which is the right bias for a CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Node types that open a new binding scope.
+SCOPE_NODES = (
+    ast.Module,
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by one assignment/loop/with target."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def bound_names(scope: ast.AST) -> Set[str]:
+    """Names bound directly in ``scope`` (not in nested scopes).
+
+    Covers arguments, assignments, ``for``/``with`` targets, ``import``
+    bindings, exception-handler names, and nested def/class names.
+    ``global``/``nonlocal`` declarations *remove* the name: writes there
+    rebind an outer scope, they don't shadow it.
+    """
+    names: Set[str] = set()
+    passthrough: Set[str] = set()
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = scope.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            names.add(arg.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, SCOPE_NODES):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    names.add(child.name)
+                continue  # nested scope binds its own names
+            if isinstance(child, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    names.update(_target_names(target))
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                names.update(_target_names(child.target))
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        names.update(_target_names(item.optional_vars))
+            elif isinstance(child, (ast.Import, ast.ImportFrom)):
+                for alias in child.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name.split(".")[0]
+                    names.add(local)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                names.add(child.name)
+            elif isinstance(child, (ast.Global, ast.Nonlocal)):
+                passthrough.update(child.names)
+            elif isinstance(child, (ast.comprehension,)):
+                names.update(_target_names(child.target))
+            elif isinstance(child, ast.NamedExpr):
+                names.update(_target_names(child.target))
+            visit(child)
+    visit(scope)
+    return names - passthrough
+
+
+def scoped_walk(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding ``(node, enclosing_scopes)``.
+
+    ``enclosing_scopes`` is outermost-first and includes the module;
+    the node itself is included in the chain when it opens a scope.
+    """
+    def visit(node: ast.AST, chain: Tuple[ast.AST, ...]):
+        if isinstance(node, SCOPE_NODES):
+            chain = chain + (node,)
+        yield node, chain
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, chain)
+
+    yield from visit(tree, ())
+
+
+class ModuleModel:
+    """Import table + shadowing info for one parsed module."""
+
+    def __init__(self, tree: ast.Module):
+        self.tree = tree
+        #: local name -> dotted origin ("random", "random.Random", ...)
+        self.imports: Dict[str, str] = {}
+        self._scope_bindings: Dict[int, Set[str]] = {}
+        self._collect_imports(tree)
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:  # relative import: origin unknowable here
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+    def bindings(self, scope: ast.AST) -> Set[str]:
+        key = id(scope)
+        if key not in self._scope_bindings:
+            self._scope_bindings[key] = bound_names(scope)
+        return self._scope_bindings[key]
+
+    def shadowed(self, name: str, scopes: Tuple[ast.AST, ...]) -> bool:
+        """Is ``name`` rebound by a non-module scope around this node?"""
+        for scope in scopes:
+            if isinstance(scope, ast.Module):
+                continue
+            if name in self.bindings(scope):
+                return True
+        return False
+
+    def resolve(
+        self, expr: ast.AST, scopes: Tuple[ast.AST, ...]
+    ) -> Optional[str]:
+        """Resolve a name/attribute expression to its dotted origin.
+
+        Returns e.g. ``"builtins.hash"``, ``"random.Random"``,
+        ``"numpy.random.default_rng"``,
+        ``"repro.stacks.base.stable_hash"`` — or ``None`` when the
+        expression is shadowed, relative, or not a plain dotted chain.
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        name = node.id
+        if self.shadowed(name, scopes):
+            return None
+        if name in self.imports:
+            base = self.imports[name]
+        elif name in self.bindings(self.tree):
+            return None  # a module-level def/assignment, not an import
+        elif name in _BUILTIN_NAMES:
+            base = f"builtins.{name}"
+        else:
+            return None
+        return ".".join([base] + list(reversed(parts)))

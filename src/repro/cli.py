@@ -16,6 +16,7 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro report                   # fidelity scorecard vs paper
     python -m repro diff <run-a> <run-b>     # per-metric drift, CI gate
     python -m repro history fig3             # metric trajectory, sparklines
+    python -m repro lint [--dynamic]         # determinism sanitizer
 
 Every metric-producing command also writes a versioned run record into
 the registry directory (``.repro-runs/`` by default; override with
@@ -135,7 +136,13 @@ def _cmd_run(args) -> int:
     platform = ATOM_D510 if args.platform == "d510" else XEON_E5645
     if not args.json:
         print(f"running {definition.workload_id} ({definition.description}) ...")
-    result = definition.runner(scale=args.scale, seed=args.seed)
+    cluster = None
+    if getattr(args, "cluster", False):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster()
+    result = definition.runner(scale=args.scale, seed=args.seed,
+                               cluster=cluster)
     counters = characterize(result.profile, platform, seed=1234 + args.seed)
     metrics = dict(counters.metric_dict())
     if result.system is not None:
@@ -162,7 +169,7 @@ def _cmd_run(args) -> int:
                     "scale": args.scale,
                     "seed": args.seed,
                     "run_id": record.run_id,
-                    "metrics": counters.metric_dict(),
+                    "metrics": metrics,
                 },
                 indent=2,
                 sort_keys=True,
@@ -170,7 +177,7 @@ def _cmd_run(args) -> int:
         )
         return 0
     print(f"platform: {platform.name}")
-    for name, value in counters.metric_dict().items():
+    for name, value in metrics.items():
         print(f"  {name:26s} {value:12.4f}")
     _save_record(args, record)
     return 0
@@ -637,6 +644,75 @@ def _cmd_history(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        default_baseline_path,
+        default_lint_root,
+        hashseed_crosscheck,
+        lint_tree,
+        load_baseline,
+        new_findings,
+        render_json,
+        render_text,
+        rule_catalog,
+        save_baseline,
+    )
+    from repro.errors import InvalidParameterError
+
+    if args.rules:
+        for doc in rule_catalog():
+            print(doc.render())
+            print()
+        return 0
+
+    if args.dynamic:
+        try:
+            hash_seeds = tuple(
+                int(s) for s in args.hash_seeds.split(",") if s.strip()
+            )
+        except ValueError:
+            raise InvalidParameterError(
+                f"--hash-seeds must be comma-separated integers, "
+                f"got {args.hash_seeds!r}"
+            )
+        result = hashseed_crosscheck(
+            workload=args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            hash_seeds=hash_seeds,
+        )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(result.render())
+        return 0 if result.identical else 1
+
+    root = args.path or default_lint_root()
+    report = lint_tree(root)
+
+    baseline_path = args.baseline or default_baseline_path()
+    if args.update_baseline:
+        target = args.baseline or default_baseline_path() or "tools/lint_baseline.json"
+        count = save_baseline(target, report.findings)
+        print(
+            f"baseline {target} updated: {count} finding(s) grandfathered"
+        )
+        return 0
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    fresh = new_findings(report.findings, baseline or {})
+    if args.json:
+        print(
+            json.dumps(
+                render_json(report, fresh, baseline_path, baseline),
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(render_text(report, fresh, baseline_path, baseline))
+    return 1 if fresh else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -665,6 +741,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=0,
         help="workload + characterization seed (default 0)",
+    )
+    run_parser.add_argument(
+        "--cluster", action="store_true",
+        help="replay the workload on the simulated cluster and record "
+             "system.* metrics (partition-layout sensitive)",
     )
     run_parser.add_argument("--json", action="store_true",
                             help="emit metrics as JSON instead of a table")
@@ -877,6 +958,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="HTML output path (default history-<experiment>.html)",
     )
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="determinism sanitizer: AST lint of src/repro against the "
+             "committed baseline; exits 1 on new findings",
+    )
+    lint_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="file or directory to lint (default: the installed repro "
+             "package tree)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline of grandfathered findings "
+             "(default: tools/lint_baseline.json when present)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather the current findings",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalogue (IDs, rationale, fix hints) and exit",
+    )
+    lint_parser.add_argument(
+        "--dynamic", action="store_true",
+        help="runtime cross-check instead of static rules: run one "
+             "fixed-seed workload under two PYTHONHASHSEED values and "
+             "require byte-identical registry records",
+    )
+    lint_parser.add_argument(
+        "--workload", default="H-WordCount",
+        help="workload for --dynamic (default H-WordCount; Hadoop "
+             "workloads expose partition skew to the cluster replay)",
+    )
+    lint_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed for --dynamic (default 0)",
+    )
+    lint_parser.add_argument(
+        "--hash-seeds", default="1,731", metavar="A,B",
+        help="PYTHONHASHSEED values for --dynamic (default 1,731)",
+    )
+    lint_parser.add_argument("--json", action="store_true")
     return parser
 
 
@@ -895,6 +1020,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "diff": _cmd_diff,
     "history": _cmd_history,
+    "lint": _cmd_lint,
 }
 
 
@@ -924,7 +1050,7 @@ def _validate_args(args) -> None:
 
 
 def main(argv=None) -> int:
-    from repro.errors import FaultPlanError, UsageError
+    from repro.errors import FaultPlanError, LintError, UsageError
 
     args = build_parser().parse_args(argv)
     try:
@@ -938,6 +1064,10 @@ def main(argv=None) -> int:
         # Malformed replay/fault plans are input errors too.
         print(f"{type(error).__name__}: {error}", file=sys.stderr)
         return 2
+    except LintError as error:
+        # A sanitizer that cannot analyse is a failing sanitizer.
+        print(f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

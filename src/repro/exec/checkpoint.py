@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.errors import CheckpointError
 from repro.exec.cells import CellResult

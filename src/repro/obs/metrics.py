@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time as _time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

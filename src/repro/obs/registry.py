@@ -231,8 +231,10 @@ class RunRegistry:
         """Assign identity, write the record, return its path."""
         os.makedirs(self.root, exist_ok=True)
         if not record.created_at:
+            # created_at is quarantined by the determinism contract:
+            # it may differ between runs and is never diffed.
             record.created_at = time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()  # repro: allow[DET003]
             )
         if not record.run_id:
             stamp = record.created_at.replace(":", "").replace("-", "")

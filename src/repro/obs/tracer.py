@@ -21,6 +21,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.errors import SimulationError
+
 #: Span categories in nesting order (outermost first).  Node-operation
 #: categories ("cpu", "io", "disk", "net") hang off attempts.
 SPAN_CATEGORIES = (
@@ -141,7 +143,9 @@ class Tracer:
     def end(self, span: Span, **args: object) -> Span:
         """Close ``span`` at the current simulated time."""
         if span.end is not None:
-            raise RuntimeError(f"span {span.name!r} already ended")
+            raise SimulationError(
+                f"span {span.name!r} already ended", span_id=span.span_id
+            )
         span.end = self.now
         if args:
             span.args.update(args)

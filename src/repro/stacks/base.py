@@ -24,7 +24,7 @@ follow from the trait constants at the bottom of this module.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.uarch.isa import InstructionClass, InstructionMix, IntBreakdown

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.faults import FaultPlan
+from repro.errors import SimulationError
 from repro.stacks.base import (
     MPI_TRAITS,
     KernelTraits,
@@ -156,9 +157,9 @@ class MpiRuntime(SoftwareStack):
                 break
             ops = {request.op for request in pending.values()}
             if len(ops) != 1 or set(pending) != live:
-                raise RuntimeError(
+                raise SimulationError(
                     "collective mismatch: all live ranks must join the same "
-                    f"collective (got {ops} from {sorted(pending)})"
+                    f"collective (got {sorted(ops)} from {sorted(pending)})"
                 )
             op = ops.pop()
             supersteps += 1
@@ -240,7 +241,9 @@ class MpiRuntime(SoftwareStack):
             ranks = sorted(pending)
             roots = {request.payload[1] for request in pending.values()}
             if len(roots) != 1:
-                raise RuntimeError("broadcast root mismatch")
+                raise SimulationError(
+                    "broadcast root mismatch", roots=sorted(roots)
+                )
             root = roots.pop()
             value = pending[root].payload[0]
             for rank in ranks:

@@ -22,7 +22,7 @@ characterization baseline is never perturbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from statistics import median
 from typing import List, Optional
 

@@ -155,13 +155,13 @@ def mpi_bfs(
         for _level in range(12):
             next_frontier = set()
             edges = 0
-            for node in frontier:
+            for node in sorted(frontier):
                 for neighbor in adjacency.get(node, ()):
                     edges += 1
                     next_frontier.add(neighbor)
             meter.ops(hash=float(2 * edges + len(next_frontier)), compare=float(edges))
             merged = yield comm.allreduce(
-                list(next_frontier), lambda a, b: list(set(a) | set(b))
+                sorted(next_frontier), lambda a, b: sorted(set(a) | set(b))
             )
             frontier = {
                 node

@@ -335,7 +335,7 @@ def mpi_pagerank(
                 dict(local_contrib),
                 lambda a, b: {
                     key: a.get(key, 0.0) + b.get(key, 0.0)
-                    for key in set(a) | set(b)
+                    for key in sorted(set(a) | set(b))
                 },
             )
             meter.ops(fp_op=float(n))
@@ -482,14 +482,16 @@ def mpi_bayes(
                     label: {
                         word: a[0].get(label, {}).get(word, 0)
                         + b[0].get(label, {}).get(word, 0)
-                        for word in set(a[0].get(label, {}))
-                        | set(b[0].get(label, {}))
+                        for word in sorted(
+                            set(a[0].get(label, {}))
+                            | set(b[0].get(label, {}))
+                        )
                     }
-                    for label in set(a[0]) | set(b[0])
+                    for label in sorted(set(a[0]) | set(b[0]))
                 },
                 {
                     label: a[1].get(label, 0) + b[1].get(label, 0)
-                    for label in set(a[1]) | set(b[1])
+                    for label in sorted(set(a[1]) | set(b[1]))
                 },
             ),
         )

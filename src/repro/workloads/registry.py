@@ -408,7 +408,13 @@ _BY_ID: Dict[str, WorkloadDefinition] = {
     for definition in ALL_WORKLOADS + MPI_WORKLOADS
 }
 if len(_BY_ID) != len(ALL_WORKLOADS) + len(MPI_WORKLOADS):
-    raise RuntimeError("duplicate workload ids in the registry")
+    from repro.errors import SimulationError
+
+    raise SimulationError(
+        "duplicate workload ids in the registry",
+        defined=len(ALL_WORKLOADS) + len(MPI_WORKLOADS),
+        distinct=len(_BY_ID),
+    )
 
 
 def workload(workload_id: str) -> WorkloadDefinition:

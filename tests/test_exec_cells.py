@@ -1,10 +1,14 @@
 """Deliberately misbehaving cell callables for executor failure tests.
 
-Workers resolve these by dotted path (``tests.exec_cells.<name>``), so
+Workers resolve these by dotted path (``tests.test_exec_cells.<name>``), so
 each function must be importable in a fresh process.  Cross-process
 state (attempt counts) lives in files under ``spec["extra"]["dir"]`` —
 a cell is never executed twice concurrently (the supervisor kills a
 worker before requeueing its cell), so plain files are race-free.
+
+The ``test_*`` functions at the bottom exercise the benign cells
+in-process; the signal-sending cells (SIGKILL/SIGSTOP) are only ever
+run inside sacrificial workers by ``test_exec_supervisor.py``.
 """
 
 import os
@@ -105,3 +109,69 @@ def slow_cell(spec):
     """Takes a bounded but non-trivial time; used for kill/resume."""
     time.sleep(float(_extra(spec).get("seconds", 0.5)))
     return ok_cell(spec)
+
+
+# --------------------------------------------------------------------------
+# In-process tests for the benign cells (the supervisor suite only ever
+# observes these through worker processes; here we pin their contracts).
+# --------------------------------------------------------------------------
+
+def _spec(tmp_path=None, **extra):
+    spec = {
+        "cell_id": "S-WordCount@s0.2/seed3",
+        "workload": "S-WordCount",
+        "scale": 0.2,
+        "seed": 3,
+    }
+    if tmp_path is not None:
+        extra["dir"] = str(tmp_path)
+    if extra:
+        spec["extra"] = extra
+    return spec
+
+
+def test_ok_cell_metrics_are_deterministic():
+    first = ok_cell(_spec())
+    second = ok_cell(_spec())
+    assert first == second
+    assert first["metrics"]["value"] == 3 * 10.0 + len("S-WordCount")
+    assert first["metrics"]["scale"] == 0.2
+
+
+def test_attempt_count_increments_across_calls(tmp_path):
+    spec = _spec(tmp_path)
+    assert _attempt_count(spec) == 1
+    assert _attempt_count(spec) == 2
+    assert _attempt_count(spec) == 3
+
+
+def test_attempt_count_is_per_cell(tmp_path):
+    a = _spec(tmp_path)
+    b = dict(_spec(tmp_path), cell_id="H-Grep@s0.2/seed0")
+    assert _attempt_count(a) == 1
+    assert _attempt_count(b) == 1
+    assert _attempt_count(a) == 2
+
+
+def test_crash_cell_always_raises(tmp_path):
+    import pytest
+
+    spec = _spec(tmp_path)
+    for _ in range(3):
+        with pytest.raises(RuntimeError, match="deterministic boom"):
+            crash_cell(spec)
+
+
+def test_flaky_cell_fails_then_succeeds(tmp_path):
+    import pytest
+
+    spec = _spec(tmp_path, fail_times=2)
+    for attempt in (1, 2):
+        with pytest.raises(RuntimeError, match=f"attempt {attempt}"):
+            flaky_cell(spec)
+    assert flaky_cell(spec) == {"metrics": {"value": 42.0}}
+
+
+def test_slow_cell_returns_ok_metrics(tmp_path):
+    spec = _spec(tmp_path, seconds=0.01)
+    assert slow_cell(spec)["metrics"]["value"] == ok_cell(_spec())["metrics"]["value"]

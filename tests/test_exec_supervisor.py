@@ -1,7 +1,7 @@
 """Failure-path coverage for the supervised sweep executor.
 
 Exercises every resilience mechanism with deliberately misbehaving
-cells (``tests.exec_cells``): worker SIGKILL mid-cell, cell timeout,
+cells (``tests.test_exec_cells``): worker SIGKILL mid-cell, cell timeout,
 frozen-worker stall detection, poison-cell quarantine, degradation to
 serial, and checkpoint resume with byte-identical merges.
 """
@@ -26,7 +26,7 @@ def make_cells(fn, count=3, tmp_path=None, **extra):
     return [
         SweepCell(
             workload=f"w{i}", platform="e5645", scale=0.1, seed=i,
-            fn=f"tests.exec_cells.{fn}",
+            fn=f"tests.test_exec_cells.{fn}",
             extra=tuple(sorted(extra.items())),
         )
         for i in range(count)
