@@ -1,0 +1,79 @@
+"""Tracing-overhead guardrail: observed sweeps must stay cheap and exact.
+
+Runs the same fixed-seed Figure 4 regeneration twice — once bare, once
+with the full observability stack attached (cross-process tracer +
+progress stream + merged Chrome trace) — and records the wall-clock
+ratio into the bench trajectory.  The hard assertion is the PR 2
+invariant: the observed run's fidelity metrics are bit-identical to
+the unobserved run's, byte for byte under ``json.dumps``.
+"""
+
+import json
+import os
+import time
+
+from conftest import run_once
+
+from repro.exec import SweepTracer, merge_sweep_trace
+from repro.experiments import ExperimentContext, fig4_cache
+from repro.obs import ProgressStream
+from repro.workloads import MPI_WORKLOADS, REPRESENTATIVE_WORKLOADS
+
+#: Smaller than BENCH_SCALE: this bench runs the experiment twice.
+OVERHEAD_SCALE = 0.2
+
+
+def _fig4_pairs(context):
+    definitions = list(REPRESENTATIVE_WORKLOADS) + list(MPI_WORKLOADS)
+    return [(d.workload_id, context.xeon) for d in definitions]
+
+
+def _run_fig4(jobs, tracer=None, stream=None):
+    context = ExperimentContext(scale=OVERHEAD_SCALE, seed=0)
+    context.prime(
+        _fig4_pairs(context), jobs=jobs, tracer=tracer, observer=stream
+    )
+    return fig4_cache.run(context)
+
+
+def test_tracing_overhead_and_bit_identity(benchmark, tmp_path):
+    untraced_t0 = time.perf_counter()
+    untraced = _run_fig4(jobs=2)
+    untraced_s = time.perf_counter() - untraced_t0
+
+    # Mutable: filled during the benchmarked call, read at record time.
+    extras = {"bench.untraced_s": untraced_s}
+
+    def traced_fig4():
+        trace_dir = str(tmp_path / "trace")
+        tracer = SweepTracer(trace_dir)
+        stream = ProgressStream(
+            str(tmp_path / "progress.jsonl"), sweep="bench-overhead"
+        )
+        t0 = time.perf_counter()
+        result = _run_fig4(jobs=2, tracer=tracer, stream=stream)
+        traced_s = time.perf_counter() - t0
+        stream.close()
+        tracer.close()
+        merge_sweep_trace(trace_dir, str(tmp_path / "trace.json"))
+        extras["bench.traced_s"] = traced_s
+        extras["bench.overhead_ratio"] = traced_s / max(1e-9, untraced_s)
+        return result
+
+    traced = run_once(benchmark, traced_fig4, extra_timings=extras)
+
+    print()
+    print(
+        f"  untraced {untraced_s:.2f}s  traced {extras['bench.traced_s']:.2f}s"
+        f"  ratio {extras['bench.overhead_ratio']:.3f}"
+    )
+
+    # Bit-identity: observation must not change one computed byte.
+    assert (
+        json.dumps(untraced.fidelity_metrics(), sort_keys=True)
+        == json.dumps(traced.fidelity_metrics(), sort_keys=True)
+    )
+    # The merged trace exists and the guardrail itself: tracing a real
+    # sweep may not double its cost.
+    assert os.path.isfile(tmp_path / "trace.json")
+    assert extras["bench.overhead_ratio"] < 2.0

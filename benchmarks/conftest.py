@@ -37,11 +37,14 @@ def _bench_seconds(benchmark) -> float:
         return 0.0
 
 
-def _record_bench(name: str, benchmark, result) -> None:
+def _record_bench(name: str, benchmark, result, extra_timings=None) -> None:
     metrics = {}
     fidelity = getattr(result, "fidelity_metrics", None)
     if callable(fidelity):
         metrics = fidelity()
+    timings = {"bench.seconds": _bench_seconds(benchmark)}
+    if extra_timings:
+        timings.update(extra_timings)
     record = RunRecord(
         experiment=f"bench.{name}",
         kind="bench",
@@ -52,7 +55,7 @@ def _record_bench(name: str, benchmark, result) -> None:
             scale=BENCH_SCALE,
             platforms=["Xeon E5645"],
         ),
-        timings={"bench.seconds": _bench_seconds(benchmark)},
+        timings=timings,
     )
     RunRegistry().save(record)
     bench_file = os.environ.get("REPRO_BENCH_FILE")
@@ -69,10 +72,18 @@ def _record_bench(name: str, benchmark, result) -> None:
             handle.write("\n")
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under the benchmark timer."""
+def run_once(benchmark, fn, *args, extra_timings=None, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    ``extra_timings`` merges additional quarantined wall-clock entries
+    (e.g. the tracing-overhead guardrail's traced/untraced split) into
+    the bench record's ``timings``.
+    """
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     _record_bench(
-        getattr(benchmark, "name", None) or fn.__module__, benchmark, result
+        getattr(benchmark, "name", None) or fn.__module__,
+        benchmark,
+        result,
+        extra_timings=extra_timings,
     )
     return result

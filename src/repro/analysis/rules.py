@@ -232,7 +232,11 @@ class WallClockRule(Rule):
     exempt_modules = (
         "repro.obs.profiler",
         "repro.obs.metrics",
-        "repro.exec.",
+        "repro.obs.hostprof",
+        "repro.obs.stream",
+        "repro.exec.supervisor",
+        "repro.exec.pool",
+        "repro.exec.tracing",
     )
 
     def check(self, ctx) -> Iterator[Finding]:

@@ -13,6 +13,8 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro chaos [--seeds 20]       # invariant-audited chaos soak
     python -m repro trace S-WordCount        # span-trace one run
     python -m repro sweep --jobs 4           # supervised parallel sweep
+    python -m repro profile S-WordCount      # host hot-path profiler
+    python -m repro metrics                  # OpenMetrics counter scrape
     python -m repro report                   # fidelity scorecard vs paper
     python -m repro diff <run-a> <run-b>     # per-metric drift, CI gate
     python -m repro history fig3             # metric trajectory, sparklines
@@ -28,8 +30,11 @@ workload x platform x seed matrix out across supervised worker
 processes (:mod:`repro.exec`): per-cell timeouts with SIGKILL
 escalation, heartbeat hang detection, capped-backoff retry,
 poison-cell quarantine, and a crash-safe checkpoint under
-``<runs dir>/sweeps/`` that ``--resume`` restarts from.  Bad input
-(unknown workload, invalid ``--seed``/``--scale``, missing
+``<runs dir>/sweeps/`` that ``--resume`` restarts from.  Each such run
+also records per-process span files merged into one Chrome/Perfetto
+trace (``--no-trace`` disables) and streams JSONL progress events next
+to the checkpoint (``--progress`` forces the live status line on).
+Bad input (unknown workload, invalid ``--seed``/``--scale``, missing
 ``--replay``) exits 2 with a one-line typed error, never a traceback.
 """
 
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments import (
@@ -197,6 +203,30 @@ def _cmd_trace(args) -> int:
         tracer, args.out, process_name=f"repro {definition.workload_id}"
     )
     print(render_trace_summary(tracer))
+    # Span counts and simulated durations are deterministic for a fixed
+    # seed/scale, so the trace summary is a legitimate registry metric.
+    metrics = {"trace.events": float(n_events)}
+    by_category = {}
+    for span in tracer.spans:
+        bucket = by_category.setdefault(span.category, [0, 0.0])
+        bucket[0] += 1
+        bucket[1] += span.duration
+    for category, (count, seconds) in sorted(by_category.items()):
+        metrics[f"trace.{category}.spans"] = float(count)
+        metrics[f"trace.{category}.seconds"] = seconds
+    experiment = f"trace.{definition.workload_id}"
+    record = RunRecord(
+        experiment=experiment,
+        kind="trace",
+        metrics=metrics,
+        provenance=build_provenance(
+            experiment=experiment,
+            seed=args.seed,
+            scale=args.scale,
+            platforms=[],
+        ),
+    )
+    _save_record(args, record)
     print(
         f"\nwrote {n_events} trace events to {args.out} — load it in "
         f"Perfetto (ui.perfetto.dev) or chrome://tracing"
@@ -233,6 +263,57 @@ def _print_timings(context: ExperimentContext) -> None:
             print(f"  {line}")
 
 
+def _sweep_observability(args, checkpoint_dir: str, sweep_key: str):
+    """Tracer + progress stream for one executor invocation.
+
+    Tracing is on by default (``--no-trace`` disables): per-process
+    span files land in ``<checkpoint dir>/trace/`` and the progress
+    JSONL next to the journal.  The terminal status line engages when
+    ``--progress`` is given, or by default on a tty.  Both are pure
+    observers: the executor's results are bit-identical either way.
+    """
+    from repro.exec import SweepTracer
+    from repro.obs.stream import ProgressStream, TerminalRenderer
+
+    tracer = None
+    if not getattr(args, "no_trace", False):
+        tracer = SweepTracer(os.path.join(checkpoint_dir, "trace"))
+    progress = getattr(args, "progress", None)
+    want_line = progress if progress is not None else sys.stderr.isatty()
+    renderer = TerminalRenderer() if want_line else None
+    stream = ProgressStream(
+        os.path.join(checkpoint_dir, "progress.jsonl"),
+        sweep=sweep_key,
+        renderer=renderer,
+    )
+    return tracer, stream
+
+
+def _merge_observability(tracer, stream, checkpoint_dir: str,
+                         quiet: bool = False) -> str:
+    """Close the stream, merge span files into one Chrome trace."""
+    from repro.errors import TraceMergeError
+    from repro.exec import merge_sweep_trace
+
+    stream.close()
+    if tracer is None:
+        return ""
+    tracer.close()
+    out = os.path.join(checkpoint_dir, "trace.json")
+    try:
+        n_events, n_flows = merge_sweep_trace(tracer.trace_dir, out)
+    except TraceMergeError as error:
+        print(f"warning: could not merge sweep trace: {error}",
+              file=sys.stderr)
+        return ""
+    print(
+        f"merged sweep trace: {n_events} event(s), {n_flows} retry "
+        f"flow link(s) -> {out}",
+        file=sys.stderr if quiet else sys.stdout,
+    )
+    return out
+
+
 def _prime_context(args, context: ExperimentContext, name: str,
                    pairs) -> None:
     """Fan a verb's characterization cells out across worker processes.
@@ -255,20 +336,23 @@ def _prime_context(args, context: ExperimentContext, name: str,
         "seed": args.seed,
     }
     chash = config_hash(config)
-    checkpoint = SweepCheckpoint(
-        args.runs_dir, sweep_id(name, chash, args.seed)
-    )
+    sweep_key = sweep_id(name, chash, args.seed)
+    checkpoint = SweepCheckpoint(args.runs_dir, sweep_key)
     checkpoint.initialise(
         config_hash=chash, seed=args.seed, config=config,
         n_cells=len(pairs),
     )
+    tracer, stream = _sweep_observability(args, checkpoint.dir, sweep_key)
     outcome = context.prime(
         pairs,
         jobs=jobs,
         cell_timeout=getattr(args, "cell_timeout", None),
         checkpoint=checkpoint,
         resume=resume,
+        tracer=tracer,
+        observer=stream,
     )
+    _merge_observability(tracer, stream, checkpoint.dir)
     if outcome.quarantined:
         print(
             f"warning: {len(outcome.quarantined)} sweep cell(s) "
@@ -385,9 +469,8 @@ def _cmd_sweep(args) -> int:
     }
     chash = config_hash(config)
     name = args.name or "sweep"
-    checkpoint = SweepCheckpoint(
-        args.runs_dir, sweep_id(name, chash, args.seed)
-    )
+    sweep_key = sweep_id(name, chash, args.seed)
+    checkpoint = SweepCheckpoint(args.runs_dir, sweep_key)
     if args.resume and not checkpoint.exists():
         print(f"no checkpoint for this sweep config yet; starting fresh",
               file=sys.stderr)
@@ -395,8 +478,13 @@ def _cmd_sweep(args) -> int:
         config_hash=chash, seed=args.seed, config=config,
         n_cells=len(cells),
     )
-    executor = SweepExecutor(jobs=args.jobs, cell_timeout=args.cell_timeout)
+    tracer, stream = _sweep_observability(args, checkpoint.dir, sweep_key)
+    executor = SweepExecutor(
+        jobs=args.jobs, cell_timeout=args.cell_timeout,
+        tracer=tracer, observer=stream,
+    )
     outcome = executor.run(cells, checkpoint=checkpoint, resume=args.resume)
+    _merge_observability(tracer, stream, checkpoint.dir, quiet=args.json)
 
     if outcome.quarantined:
         print(
@@ -436,6 +524,63 @@ def _cmd_sweep(args) -> int:
     for line in telemetry_lines(outcome.telemetry):
         print(f"  {line}")
     _save_record(args, record)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """Host hot-path profile of one workload characterization.
+
+    Every measured number is wall-clock and therefore quarantined: the
+    record's ``metrics`` are the ordinary (deterministic) performance
+    counters, while the whole attribution lands in ``timings``.
+    """
+    from repro.obs.hostprof import profile_call
+
+    definition = workload(args.workload)
+    platform = ATOM_D510 if args.platform == "d510" else XEON_E5645
+    context = ExperimentContext(scale=args.scale, seed=args.seed)
+    if not args.json:
+        print(
+            f"profiling {definition.workload_id} on {platform.name} "
+            f"(host wall-clock, scale {args.scale}) ..."
+        )
+    counters, profile = profile_call(
+        context.counters, definition.workload_id, platform
+    )
+    experiment = f"profile.{definition.workload_id}"
+    record = RunRecord(
+        experiment=experiment,
+        kind="profile",
+        metrics=dict(counters.metric_dict()),
+        provenance=build_provenance(
+            experiment=experiment,
+            seed=args.seed,
+            scale=args.scale,
+            platforms=[platform.name],
+        ),
+        timings=profile.timings(),
+    )
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(profile.render_table(args.top))
+    print()
+    print(profile.render_flame())
+    print(
+        f"\nattributed {100 * profile.attributed_fraction():.1f}% of "
+        f"{profile.total_s:.3f}s measured self time "
+        f"({100 * profile.uarch_fraction():.1f}% inside repro.uarch)"
+    )
+    _save_record(args, record)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """OpenMetrics-style exposition of registry and sweep counters."""
+    from repro.obs.stream import render_openmetrics
+
+    sys.stdout.write(render_openmetrics(args.runs_dir))
     return 0
 
 
@@ -497,8 +642,6 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    import os
-
     from repro.chaos import (
         load_replay,
         replay_to_dict,
@@ -790,6 +933,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="resume from this configuration's sweep checkpoint, "
                  "re-running only incomplete cells",
         )
+        sub.add_argument(
+            "--no-trace", action="store_true",
+            help="skip the per-process span files and merged Chrome "
+                 "trace this run would otherwise record",
+        )
+        sub.add_argument(
+            "--progress", action=argparse.BooleanOptionalAction,
+            default=None,
+            help="force the live progress line on (or off with "
+                 "--no-progress); default: on when stderr is a tty",
+        )
 
     fig_parser = commands.add_parser("fig", help="regenerate a figure")
     fig_parser.add_argument("figure", help="1-5 or 'locality' (6-9)")
@@ -830,6 +984,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--json", action="store_true")
     add_executor_flags(sweep_parser)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="host hot-path profiler: attribute one workload "
+             "characterization's wall-clock to repro functions "
+             "(cProfile; all timings quarantined)",
+    )
+    profile_parser.add_argument(
+        "workload", help="workload id, e.g. S-WordCount"
+    )
+    profile_parser.add_argument(
+        "--platform", choices=("e5645", "d510"), default="e5645"
+    )
+    profile_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="characterization seed (default 0)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="rows in the hot-function table (default 20)",
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry run-record schema instead of the report",
+    )
+
+    commands.add_parser(
+        "metrics",
+        help="OpenMetrics-style text exposition of registry record "
+             "counts, executor telemetry and sweep progress",
+    )
 
     stacks_parser = commands.add_parser(
         "stacks", help="the §5.5 software-stack study"
@@ -1013,6 +1198,8 @@ _HANDLERS = {
     "fig": _cmd_fig,
     "table": _cmd_table,
     "sweep": _cmd_sweep,
+    "profile": _cmd_profile,
+    "metrics": _cmd_metrics,
     "stacks": _cmd_stacks,
     "system": _cmd_system,
     "faults": _cmd_faults,
@@ -1047,6 +1234,9 @@ def _validate_args(args) -> None:
         raise InvalidParameterError(
             f"--cell-timeout must be > 0, got {cell_timeout!r}"
         )
+    top = getattr(args, "top", None)
+    if top is not None and top < 1:
+        raise InvalidParameterError(f"--top must be >= 1, got {top!r}")
 
 
 def main(argv=None) -> int:

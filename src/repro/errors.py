@@ -25,9 +25,16 @@ wrong without parsing messages:
   bad input never produces a traceback.
 - :class:`ExecError` — the parallel sweep executor could not complete
   or trust a sweep: a checkpoint is corrupt or belongs to a different
-  configuration (:class:`CheckpointError`), or a cell result failed its
+  configuration (:class:`CheckpointError`), a cell result failed its
   provenance-hash validation at merge time
-  (:class:`CellIntegrityError`).
+  (:class:`CellIntegrityError`), or the per-worker span files of a
+  sweep could not be merged into one trace
+  (:class:`TraceMergeError`).
+- :class:`ProfilerError` — the host-side hot-path profiler
+  (``repro profile``) could not complete: profiling machinery failed
+  or produced an empty sample.  Distinct from :class:`LintError`
+  because an unprofilable run is an observability failure, not a
+  determinism hazard.
 - :class:`LintError` — the determinism sanitizer (``repro lint``)
   could not complete an analysis: an unreadable file, a failed
   subprocess probe.  :class:`DynamicDivergenceError` is the probe's
@@ -124,6 +131,14 @@ class CheckpointError(ExecError):
 
 class CellIntegrityError(ExecError):
     """A cell result's provenance hash does not match its payload."""
+
+
+class TraceMergeError(ExecError):
+    """A sweep's per-worker span files could not be merged."""
+
+
+class ProfilerError(SimulationError):
+    """The host-side hot-path profiler could not complete."""
 
 
 class LintError(SimulationError):

@@ -31,19 +31,31 @@ from repro.exec.supervisor import (  # noqa: F401
     SweepExecutor,
     SweepOutcome,
 )
+from repro.exec.tracing import (  # noqa: F401
+    SpanWriter,
+    SweepTracer,
+    merge_sweep_trace,
+    read_span_records,
+    worker_lane,
+)
 
 __all__ = [
     "DEFAULT_CELL_FN",
     "CellResult",
+    "SpanWriter",
     "SweepCell",
     "SweepCheckpoint",
     "SweepExecutor",
     "SweepOutcome",
+    "SweepTracer",
     "decompose",
     "merge_results",
+    "merge_sweep_trace",
     "platform_for",
     "provenance_hash",
+    "read_span_records",
     "sweep_id",
     "telemetry_lines",
     "validate_cell",
+    "worker_lane",
 ]

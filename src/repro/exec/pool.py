@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.exec.cells import run_cell
+from repro.exec.tracing import SpanWriter, worker_lane, worker_span_path
 
 #: Seconds between worker heartbeats while a cell runs.
 HEARTBEAT_INTERVAL = 0.2
@@ -41,10 +42,21 @@ _CTX = mp.get_context("fork")
 
 
 def _worker_main(worker_id: int, conn, results, heartbeat_interval: float,
-                 ) -> None:
-    """Worker loop: recv spec, run, report; ``None`` means shut down."""
+                 trace_dir: Optional[str] = None) -> None:
+    """Worker loop: recv spec, run, report; ``None`` means shut down.
+
+    When ``trace_dir`` is set the worker appends its own span file
+    (boot span, one ``cell`` span per completed attempt).  Kills cannot
+    be recorded from here — a SIGKILLed worker writes nothing — so the
+    supervisor records killed attempts on this worker's lane instead.
+    """
     state = {"cell": None}
     stop = threading.Event()
+    writer = lane = None
+    if trace_dir is not None:
+        lane = worker_lane(os.getpid(), worker_id)
+        writer = SpanWriter(worker_span_path(trace_dir, os.getpid(), worker_id))
+    boot_wall = time.time()
 
     def beat() -> None:
         while not stop.wait(heartbeat_interval):
@@ -57,6 +69,9 @@ def _worker_main(worker_id: int, conn, results, heartbeat_interval: float,
 
     threading.Thread(target=beat, daemon=True).start()
     results.put(("ready", worker_id))
+    if writer is not None:
+        writer.span(lane, "boot", "boot", boot_wall, time.time(),
+                    worker=worker_id)
     while True:
         try:
             spec = conn.recv()
@@ -64,9 +79,13 @@ def _worker_main(worker_id: int, conn, results, heartbeat_interval: float,
             break
         if spec is None:
             break
+        # The trace context rides along outside the provenance-hashed
+        # identity fields; strip it before the cell sees its spec.
+        trace_meta = spec.pop("_trace", None) or {}
         cell_id = spec["cell_id"]
         state["cell"] = cell_id
         started = time.perf_counter()
+        run_wall = time.time()
         try:
             payload = run_cell(spec)
         except KeyboardInterrupt:
@@ -77,14 +96,29 @@ def _worker_main(worker_id: int, conn, results, heartbeat_interval: float,
                 type(error).__name__, str(error),
                 time.perf_counter() - started,
             ))
+            if writer is not None:
+                writer.span(
+                    lane, cell_id, "cell", run_wall, time.time(),
+                    cell_id=cell_id, status="error",
+                    error=type(error).__name__,
+                    attempt=trace_meta.get("attempt"),
+                )
         else:
             results.put((
                 "ok", worker_id, cell_id, payload,
                 time.perf_counter() - started,
             ))
+            if writer is not None:
+                writer.span(
+                    lane, cell_id, "cell", run_wall, time.time(),
+                    cell_id=cell_id, status="ok",
+                    attempt=trace_meta.get("attempt"),
+                )
         finally:
             state["cell"] = None
     stop.set()
+    if writer is not None:
+        writer.close()
 
 
 @dataclass
@@ -102,6 +136,12 @@ class WorkerHandle:
     last_beat: float = 0.0
     #: Monotonic dispatch time (queue-wait + runtime accounting).
     dispatched_at: float = 0.0
+    #: Epoch dispatch time — trace timestamps only, comparable across
+    #: processes (monotonic clocks are not).
+    dispatched_wall: float = 0.0
+    #: OS pid captured at spawn; survives the process object's death and
+    #: names the worker's trace lane.
+    pid: int = 0
     #: Heartbeats received for the in-flight cell; a worker that never
     #: beat may just be slow to boot, so it gets a grace period before
     #: stall detection applies.
@@ -112,6 +152,11 @@ class WorkerHandle:
     @property
     def busy(self) -> bool:
         return self.cell is not None
+
+    @property
+    def lane(self) -> str:
+        """The trace lane this worker's spans live on."""
+        return worker_lane(self.pid, self.worker_id)
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -155,12 +200,13 @@ class WorkerHandle:
 
 def spawn_worker(worker_id: int, results,
                  heartbeat_interval: float = HEARTBEAT_INTERVAL,
+                 trace_dir: Optional[str] = None,
                  ) -> WorkerHandle:
     """Fork one worker and return its handle (not yet marked ready)."""
     parent_conn, child_conn = _CTX.Pipe()
     process = _CTX.Process(
         target=_worker_main,
-        args=(worker_id, child_conn, results, heartbeat_interval),
+        args=(worker_id, child_conn, results, heartbeat_interval, trace_dir),
         daemon=True,
         name=f"repro-sweep-worker-{worker_id}",
     )
@@ -169,7 +215,7 @@ def spawn_worker(worker_id: int, results,
     now = time.monotonic()
     return WorkerHandle(
         worker_id=worker_id, process=process, conn=parent_conn,
-        last_beat=now,
+        last_beat=now, pid=process.pid or 0,
     )
 
 

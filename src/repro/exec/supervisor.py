@@ -27,6 +27,19 @@ Determinism: cells are seeded and side-effect free, so the merged
 result of any schedule — serial, parallel, crashed-and-resumed — is
 bit-identical; :mod:`repro.exec.merge` enforces it via provenance
 hashes.
+
+Observability (both default off, both strictly passive):
+
+- ``tracer`` — a :class:`repro.exec.tracing.SweepTracer`.  The
+  supervisor records queue-wait spans and *killed* attempts on worker
+  lanes (a SIGKILLed worker cannot write its own final span), plus
+  retry/quarantine instants and the whole-sweep span on its own lane;
+  workers record their boot and run spans themselves.
+- ``observer`` — a callable receiving one dict per progress event
+  (``sweep-started``, ``cell-started``/``finished``/``retried``/
+  ``quarantined``, ``worker-started``/``lost``, ``degraded-serial``,
+  ``sweep-finished``).  Observer exceptions are swallowed: telemetry
+  must never fail a sweep.
 """
 
 from __future__ import annotations
@@ -101,6 +114,8 @@ class SweepExecutor:
         heartbeat_interval: float = HEARTBEAT_INTERVAL,
         stall_timeout: float = DEFAULT_STALL_TIMEOUT,
         degrade_after: Optional[int] = None,
+        tracer=None,
+        observer=None,
     ):
         self.jobs = max(1, int(jobs))
         self.cell_timeout = cell_timeout
@@ -114,6 +129,17 @@ class SweepExecutor:
         self.degrade_after = (
             degrade_after if degrade_after is not None else 2 * self.jobs + 2
         )
+        self.tracer = tracer
+        self.observer = observer
+
+    def _emit(self, event: Dict) -> None:
+        """Hand one progress event to the observer; never let it fail us."""
+        if self.observer is None:
+            return
+        try:
+            self.observer(dict(event))
+        except Exception:
+            pass
 
     # ---- public entry points ---------------------------------------------
     def run(
@@ -124,6 +150,7 @@ class SweepExecutor:
     ) -> SweepOutcome:
         """Execute the cells, honouring and feeding the checkpoint."""
         started = time.perf_counter()
+        started_wall = time.time()
         outcome = SweepOutcome()
         telemetry = outcome.telemetry
         for key in ("cells_run", "cells_ok", "cells_retried",
@@ -147,6 +174,13 @@ class SweepExecutor:
                 if spec["cell_id"] not in outcome.results
             ]
 
+        self._emit({
+            "event": "sweep-started",
+            "total": len(cells),
+            "todo": len(todo),
+            "jobs": self.jobs,
+            "from_checkpoint": int(telemetry["cells_from_checkpoint"]),
+        })
         if todo:
             if self.jobs == 1:
                 self._run_serial(todo, checkpoint, outcome)
@@ -156,6 +190,19 @@ class SweepExecutor:
             checkpoint.close()
         telemetry["cells_quarantined"] = float(len(outcome.quarantined))
         telemetry["wall_s"] = time.perf_counter() - started
+        if self.tracer is not None:
+            self.tracer.span(
+                "sweep", "sweep", started_wall, time.time(),
+                cells=len(cells), jobs=self.jobs,
+                quarantined=len(outcome.quarantined),
+            )
+        self._emit({
+            "event": "sweep-finished",
+            "done": len(outcome.results),
+            "total": len(cells),
+            "quarantined": len(outcome.quarantined),
+            "wall_s": telemetry["wall_s"],
+        })
         return outcome
 
     # ---- serial path ------------------------------------------------------
@@ -176,13 +223,26 @@ class SweepExecutor:
         queue = deque(todo)
         while queue:
             spec = queue.popleft()
+            spec.pop("_trace", None)  # may linger after degrade-to-serial
             cell_id = spec["cell_id"]
             started = time.perf_counter()
+            run_wall = time.time()
+            attempt = attempts.get(cell_id, 0) + 1
             telemetry["cells_run"] += 1
+            self._emit({
+                "event": "cell-started", "cell_id": cell_id,
+                "worker": "serial", "attempt": attempt,
+            })
             try:
                 payload = run_cell(spec)
             except Exception as error:
                 signature = f"{type(error).__name__}: {error}"
+                if self.tracer is not None:
+                    self.tracer.span(
+                        cell_id, "cell", run_wall, time.time(),
+                        cell_id=cell_id, attempt=attempt, status="error",
+                        error=type(error).__name__,
+                    )
                 retry = self._note_failure(
                     spec, signature, attempts, failures, checkpoint, outcome
                 )
@@ -190,6 +250,11 @@ class SweepExecutor:
                     time.sleep(self._backoff(attempts[cell_id]))
                     queue.append(spec)
                 continue
+            if self.tracer is not None:
+                self.tracer.span(
+                    cell_id, "cell", run_wall, time.time(),
+                    cell_id=cell_id, attempt=attempt, status="ok",
+                )
             result = CellResult(
                 cell_id=cell_id,
                 status="ok",
@@ -213,21 +278,32 @@ class SweepExecutor:
         now = time.monotonic()
         pending: deque = deque()
         ready_since: Dict[str, float] = {}
+        #: Epoch twin of ready_since, feeding queue-wait trace spans
+        #: (monotonic values are not comparable across processes).
+        ready_wall: Dict[str, float] = {}
+        now_wall = time.time()
         for spec in todo:
             pending.append(spec)
             ready_since[spec["cell_id"]] = now
+            ready_wall[spec["cell_id"]] = now_wall
         delayed: List[tuple] = []  # (not_before, spec)
         attempts: Dict[str, int] = {}
         failures: Dict[str, List[str]] = {}
         restarts = 0
+        trace_dir = self.tracer.trace_dir if self.tracer is not None else None
 
         def spawn() -> WorkerHandle:
             nonlocal next_id
             handle = spawn_worker(
-                next_id, results_queue, self.heartbeat_interval
+                next_id, results_queue, self.heartbeat_interval,
+                trace_dir=trace_dir,
             )
             workers[handle.worker_id] = handle
             next_id += 1
+            self._emit({
+                "event": "worker-started",
+                "worker": handle.worker_id, "pid": handle.pid,
+            })
             return handle
 
         def open_cells() -> int:
@@ -252,11 +328,27 @@ class SweepExecutor:
                 handle.kill()
             else:
                 handle._close()
+            killed_wall = time.time()
             spec = handle.cell
             handle.cell = None
             workers.pop(handle.worker_id, None)
             restarts += 1
             telemetry["worker_restarts"] += 1
+            if spec is not None and self.tracer is not None:
+                # The worker is dead and cannot record its final span;
+                # write the killed attempt on its lane from here.
+                self.tracer.span(
+                    spec["cell_id"], "cell",
+                    handle.dispatched_wall or killed_wall, killed_wall,
+                    lane=handle.lane, cell_id=spec["cell_id"],
+                    attempt=attempts.get(spec["cell_id"], 0) + 1,
+                    status="killed", cause=signature,
+                )
+            self._emit({
+                "event": "worker-lost",
+                "worker": handle.worker_id, "pid": handle.pid,
+                "cause": signature,
+            })
             if spec is not None:
                 # Supervisor-initiated kills are infrastructure failures:
                 # they never poison a cell, only spend its attempt budget.
@@ -274,8 +366,10 @@ class SweepExecutor:
                 if delayed:
                     due = [s for t, s in delayed if t <= now]
                     delayed[:] = [(t, s) for t, s in delayed if t > now]
+                    now_wall = time.time()
                     for spec in due:
                         ready_since[spec["cell_id"]] = now
+                        ready_wall[spec["cell_id"]] = now_wall
                         pending.append(spec)
                 # Keep the fleet at strength while there is queued work.
                 while pending and len(workers) < min(self.jobs, open_cells()):
@@ -283,8 +377,12 @@ class SweepExecutor:
                 for handle in list(workers.values()):
                     if pending and not handle.busy and handle.alive():
                         spec = pending.popleft()
+                        cell_id = spec["cell_id"]
+                        attempt = attempts.get(cell_id, 0) + 1
+                        spec["_trace"] = {"attempt": attempt}
                         handle.cell = spec
                         handle.dispatched_at = now
+                        handle.dispatched_wall = time.time()
                         handle.last_beat = now
                         handle.beats = 0
                         handle.deadline = (
@@ -292,9 +390,24 @@ class SweepExecutor:
                             if self.cell_timeout else float("inf")
                         )
                         telemetry["queue_wait_s"] += max(
-                            0.0, now - ready_since.get(spec["cell_id"], now)
+                            0.0, now - ready_since.get(cell_id, now)
                         )
                         telemetry["cells_run"] += 1
+                        if self.tracer is not None:
+                            self.tracer.span(
+                                cell_id, "queue",
+                                ready_wall.get(
+                                    cell_id, handle.dispatched_wall
+                                ),
+                                handle.dispatched_wall,
+                                lane=handle.lane, cell_id=cell_id,
+                                attempt=attempt,
+                            )
+                        self._emit({
+                            "event": "cell-started", "cell_id": cell_id,
+                            "worker": handle.worker_id, "pid": handle.pid,
+                            "attempt": attempt,
+                        })
                         if not handle.send(spec):
                             fail_worker(handle, "worker-died: send failed",
                                         kill=True)
@@ -337,6 +450,12 @@ class SweepExecutor:
         ]
         if restarts > self.degrade_after:
             telemetry["degraded_serial"] = 1.0
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "degraded-serial", "executor", time.time(),
+                    restarts=restarts,
+                )
+            self._emit({"event": "degraded-serial", "restarts": restarts})
             remaining = leftovers + [
                 spec for spec in todo if spec["cell_id"] in in_flight_or_lost
             ]
@@ -451,8 +570,30 @@ class SweepExecutor:
             outcome.quarantined[cell_id] = result
             if checkpoint is not None:
                 checkpoint.record(result)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "quarantine", "quarantine", time.time(),
+                    cell_id=cell_id, attempts=attempts[cell_id],
+                    poison=poison, signature=signature,
+                )
+            self._emit({
+                "event": "cell-quarantined", "cell_id": cell_id,
+                "attempts": attempts[cell_id], "signature": signature,
+                "poison": poison,
+            })
             return False
         outcome.telemetry["cells_retried"] += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "retry", "retry", time.time(),
+                cell_id=cell_id, attempt=attempts[cell_id],
+                signature=signature, infra=infra,
+            )
+        self._emit({
+            "event": "cell-retried", "cell_id": cell_id,
+            "attempt": attempts[cell_id], "signature": signature,
+            "infra": infra,
+        })
         return True
 
     def _commit(self, result: CellResult,
@@ -464,3 +605,10 @@ class SweepExecutor:
         outcome.results[result.cell_id] = result
         outcome.quarantined.pop(result.cell_id, None)
         outcome.telemetry["cells_ok"] += 1
+        self._emit({
+            "event": "cell-finished", "cell_id": result.cell_id,
+            "worker": result.worker, "attempt": result.attempts,
+            "seconds": result.seconds,
+            "done": len(outcome.results),
+            "total": int(outcome.telemetry.get("cells_total", 0.0)),
+        })

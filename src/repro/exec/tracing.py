@@ -1,0 +1,220 @@
+"""Cross-process trace propagation for the sweep executor.
+
+The supervised executor (:mod:`repro.exec.supervisor`) fans cells out
+to forked workers; each process knows only its own slice of the sweep.
+This module gives every participant an append-only *span file* and a
+merge step that reassembles the fleet's files into one Chrome/Perfetto
+trace with a lane per process and flow events linking retries of the
+same cell across workers.
+
+Design constraints, in order:
+
+- **Determinism first.**  Tracing must never change what a sweep
+  computes.  Span records live outside the cell payload, the trace
+  context travels in a ``_trace`` key that is excluded from the
+  provenance hash (see :func:`repro.exec.cells._hashable_spec`), and
+  every write is best-effort: an unwritable span file degrades to *no
+  trace*, never to a failed sweep.
+- **Crash-tolerant files.**  Workers die mid-write (SIGKILL is a
+  supported executor path), so the format is one JSON object per line,
+  flushed per record, and the reader skips torn tails instead of
+  failing the merge.
+- **Comparable clocks.**  All timestamps are ``time.time()`` epoch
+  seconds.  Forked processes share the system clock, which makes the
+  merged timeline directly comparable across lanes; monotonic clocks
+  would not be.  Every read is quarantined here (module is on the
+  DET003 exemption list) and the values only ever land in span files
+  and record ``timings`` — never in ``metrics``.
+
+Lane identity is ``worker-<ospid>-<workerid>``: worker ids restart at
+0 on resume and are reused by replacement workers, but OS pids are
+unique per process, so distinct processes always get distinct lanes in
+the merged trace (which is what makes cross-worker retry flows
+legible).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TraceMergeError
+
+SPAN_FILE_SUFFIX = ".spans.jsonl"
+
+__all__ = [
+    "SPAN_FILE_SUFFIX",
+    "SpanWriter",
+    "SweepTracer",
+    "worker_lane",
+    "worker_span_path",
+    "read_span_records",
+    "merge_sweep_trace",
+]
+
+
+def worker_lane(pid: int, worker_id: int) -> str:
+    """The lane name a worker process records under.
+
+    Includes the OS pid so replacement workers (same worker id, new
+    process) and resumed runs (worker ids restart at 0) land on
+    distinct lanes.
+    """
+
+    return f"worker-{pid}-{worker_id}"
+
+
+def worker_span_path(trace_dir: str, pid: int, worker_id: int) -> str:
+    return os.path.join(trace_dir, worker_lane(pid, worker_id) + SPAN_FILE_SUFFIX)
+
+
+class SpanWriter:
+    """Append-only JSONL span file for one process.
+
+    Opens lazily on first record so that merely constructing a writer
+    (e.g. in a worker that never receives a cell) leaves no file.
+    Writes are flushed per record — a killed process loses at most the
+    line it was writing, which the reader tolerates.  All I/O errors
+    are swallowed: tracing is an observer, never a failure mode.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+        self._failed = False
+
+    def _emit(self, record: Dict) -> None:
+        if self._failed:
+            return
+        try:
+            if self._handle is None:
+                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except OSError:
+            self._failed = True
+
+    def span(self, lane: str, name: str, cat: str, t0: float, t1: float, **args) -> None:
+        self._emit(
+            {
+                "kind": "span",
+                "lane": lane,
+                "pid": os.getpid(),
+                "name": name,
+                "cat": cat,
+                "t0": t0,
+                "t1": t1,
+                "args": args,
+            }
+        )
+
+    def instant(self, lane: str, name: str, cat: str, t: float, **args) -> None:
+        self._emit(
+            {
+                "kind": "instant",
+                "lane": lane,
+                "pid": os.getpid(),
+                "name": name,
+                "cat": cat,
+                "t": t,
+                "args": args,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+
+class SweepTracer:
+    """Supervisor-side trace handle for one sweep invocation.
+
+    Owns the trace directory (created eagerly so workers can write into
+    it immediately after fork) and the supervisor's own span file.
+    Workers derive their file paths from :attr:`trace_dir` with
+    :func:`worker_span_path`; the supervisor never writes on worker
+    lanes except for *killed* attempts, which the worker by definition
+    cannot record itself.
+    """
+
+    def __init__(self, trace_dir: str):
+        os.makedirs(trace_dir, exist_ok=True)
+        self.trace_dir = trace_dir
+        self.lane = f"supervisor-{os.getpid()}"
+        self._writer = SpanWriter(
+            os.path.join(trace_dir, self.lane + SPAN_FILE_SUFFIX)
+        )
+
+    def span(self, name: str, cat: str, t0: float, t1: float, *, lane: Optional[str] = None, **args) -> None:
+        self._writer.span(lane or self.lane, name, cat, t0, t1, **args)
+
+    def instant(self, name: str, cat: str, t: float, *, lane: Optional[str] = None, **args) -> None:
+        self._writer.instant(lane or self.lane, name, cat, t, **args)
+
+    def now(self) -> float:
+        return time.time()
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+def read_span_records(trace_dir: str) -> List[Dict]:
+    """Load every span record under ``trace_dir``, tolerating torn tails.
+
+    Files are visited in sorted order and lines that fail to parse (a
+    process died mid-write) are skipped; a missing directory is the
+    caller's error and raises :class:`TraceMergeError`.
+    """
+
+    if not os.path.isdir(trace_dir):
+        raise TraceMergeError("trace directory does not exist", trace_dir=trace_dir)
+    records: List[Dict] = []
+    for fname in sorted(os.listdir(trace_dir)):
+        if not fname.endswith(SPAN_FILE_SUFFIX):
+            continue
+        path = os.path.join(trace_dir, fname)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn tail from a killed process
+                    if isinstance(record, dict) and record.get("kind") in ("span", "instant"):
+                        records.append(record)
+        except OSError as exc:
+            raise TraceMergeError(
+                "unreadable span file", path=path, error=str(exc)
+            ) from exc
+    return records
+
+
+def merge_sweep_trace(trace_dir: str, out_path: str) -> Tuple[int, int]:
+    """Merge all span files under ``trace_dir`` into one Chrome trace.
+
+    Returns ``(n_events, n_flow_links)``.  The export shape (lane →
+    pid/tid assignment, flow derivation) lives in
+    :func:`repro.obs.export.sweep_records_to_chrome`.
+    """
+
+    from repro.obs.export import sweep_records_to_chrome
+
+    records = read_span_records(trace_dir)
+    trace = sweep_records_to_chrome(records)
+    tmp = out_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, out_path)
+    n_flows = int(trace.get("otherData", {}).get("flow_links", 0))
+    return len(trace["traceEvents"]), n_flows

@@ -205,6 +205,8 @@ class ExperimentContext:
         cell_timeout: float = None,
         checkpoint=None,
         resume: bool = False,
+        tracer=None,
+        observer=None,
     ):
         """Characterize the given pairs across ``jobs`` worker processes.
 
@@ -212,7 +214,8 @@ class ExperimentContext:
         (telemetry rides into the run record's quarantined ``timings``).
         Quarantined cells are simply not adopted: the experiment falls
         back to computing them serially in-process, so a poison cell
-        degrades throughput, never correctness.
+        degrades throughput, never correctness.  ``tracer``/``observer``
+        pass straight through to the executor's observability hooks.
         """
         from repro.exec.supervisor import DEFAULT_CELL_TIMEOUT, SweepExecutor
 
@@ -222,6 +225,8 @@ class ExperimentContext:
             cell_timeout=(
                 cell_timeout if cell_timeout else DEFAULT_CELL_TIMEOUT
             ),
+            tracer=tracer,
+            observer=observer,
         )
         outcome = executor.run(cells, checkpoint=checkpoint, resume=resume)
         self.adopt_cells(outcome.results)

@@ -17,8 +17,15 @@ from repro.obs.anchors import (
 )
 from repro.obs.export import (
     render_trace_summary,
+    sweep_records_to_chrome,
     to_chrome_trace,
     write_chrome_trace,
+)
+from repro.obs.hostprof import (
+    HostProfile,
+    HotFunction,
+    module_of,
+    profile_call,
 )
 from repro.obs.metrics import (
     ClusterTelemetry,
@@ -46,6 +53,13 @@ from repro.obs.report import (
     scorecard,
     sparkline,
 )
+from repro.obs.stream import (
+    PROGRESS_SCHEMA_VERSION,
+    ProgressStream,
+    TerminalRenderer,
+    read_progress,
+    render_openmetrics,
+)
 from repro.obs.tracer import (
     SPAN_CATEGORIES,
     CounterSample,
@@ -56,6 +70,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "PAPER_ANCHORS",
+    "PROGRESS_SCHEMA_VERSION",
     "SCHEMA_VERSION",
     "SPAN_CATEGORIES",
     "Anchor",
@@ -66,13 +81,17 @@ __all__ = [
     "CounterSample",
     "DiffResult",
     "History",
+    "HostProfile",
+    "HotFunction",
     "InstantEvent",
     "NodeSample",
     "PhaseProfiler",
+    "ProgressStream",
     "RunRecord",
     "RunRegistry",
     "Scorecard",
     "Span",
+    "TerminalRenderer",
     "TimelineTotals",
     "Tracer",
     "UtilizationTimeline",
@@ -83,13 +102,18 @@ __all__ = [
     "evaluate_record",
     "flatten_rows",
     "history",
+    "module_of",
     "phase",
+    "profile_call",
     "profiler",
+    "read_progress",
+    "render_openmetrics",
     "render_trace_summary",
     "runs_dir_default",
     "scorecard",
     "set_profiler",
     "sparkline",
+    "sweep_records_to_chrome",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

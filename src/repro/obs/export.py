@@ -124,6 +124,174 @@ def write_chrome_trace(
     return len(trace["traceEvents"])
 
 
+def sweep_records_to_chrome(
+    records: List[dict], trace_name: str = "repro-sweep"
+) -> dict:
+    """Merge raw sweep span records into one multi-process Chrome trace.
+
+    ``records`` are the dicts produced by
+    :class:`repro.exec.tracing.SpanWriter` across every process of a
+    sweep.  Each *lane* (one per OS process: supervisor, workers,
+    serial fallback) becomes its own Chrome ``pid`` with an explicit
+    ``tid`` of 0, named via ``process_name`` metadata — so Perfetto
+    renders one horizontal track per process, supervisors first.
+
+    Retries of one cell become flow events: the ``cat == "cell"``
+    spans of each ``cell_id`` are ordered by start time and every
+    consecutive pair is linked with a ``"s"``/``"f"`` arrow (flow id
+    ``<cell_id>#<k>``), which is what makes a cell hopping between
+    workers visually traceable.
+
+    Timestamps are epoch seconds; the whole trace is rebased to its
+    earliest event so viewers start at t=0.
+    """
+
+    spans = [r for r in records if r.get("kind") == "span"]
+    instants = [r for r in records if r.get("kind") == "instant"]
+
+    first_seen: Dict[str, float] = {}
+    os_pid: Dict[str, int] = {}
+    for record in spans + instants:
+        lane = str(record.get("lane", "unknown"))
+        when = float(record.get("t0", record.get("t", 0.0)))
+        if lane not in first_seen or when < first_seen[lane]:
+            first_seen[lane] = when
+        # The lane name embeds the owning OS pid (worker-<pid>-<id> /
+        # supervisor-<pid>); prefer it over the record's writer pid,
+        # because the supervisor writes queue and killed-attempt spans
+        # onto worker lanes.
+        if lane not in os_pid:
+            parts = lane.split("-")
+            embedded = parts[1] if len(parts) >= 2 and parts[1].isdigit() else None
+            os_pid[lane] = (
+                int(embedded) if embedded else int(record.get("pid", 0))
+            )
+    lanes = sorted(
+        first_seen,
+        key=lambda lane: (
+            0 if lane.startswith("supervisor") else 1,
+            first_seen[lane],
+            lane,
+        ),
+    )
+    pids = {lane: index + 1 for index, lane in enumerate(lanes)}
+    base = min(first_seen.values()) if first_seen else 0.0
+
+    events: List[dict] = []
+    for lane in lanes:
+        events.append(
+            {
+                "name": "process_name",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": pids[lane],
+                "tid": 0,
+                "args": {"name": f"{lane} (os pid {os_pid[lane]})"},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "cat": "__metadata",
+                "ph": "M",
+                "ts": 0,
+                "pid": pids[lane],
+                "tid": 0,
+                "args": {"sort_index": pids[lane]},
+            }
+        )
+
+    body: List[dict] = []
+    for record in spans:
+        lane = str(record.get("lane", "unknown"))
+        t0 = float(record.get("t0", 0.0))
+        t1 = float(record.get("t1", t0))
+        body.append(
+            {
+                "name": str(record.get("name", "?")),
+                "cat": str(record.get("cat", "span")),
+                "ph": "X",
+                "ts": (t0 - base) * 1e6,
+                "dur": max(0.0, (t1 - t0)) * 1e6,
+                "pid": pids[lane],
+                "tid": 0,
+                "args": dict(record.get("args", {})),
+            }
+        )
+    for record in instants:
+        lane = str(record.get("lane", "unknown"))
+        body.append(
+            {
+                "name": str(record.get("name", "?")),
+                "cat": str(record.get("cat", "mark")),
+                "ph": "i",
+                "s": "t",
+                "ts": (float(record.get("t", 0.0)) - base) * 1e6,
+                "pid": pids[lane],
+                "tid": 0,
+                "args": dict(record.get("args", {})),
+            }
+        )
+
+    # Flow events: consecutive attempts of the same cell, ordered by
+    # start time, regardless of which worker (or run — resumed sweeps
+    # append to the same directory) executed them.
+    attempts_by_cell: Dict[str, List[dict]] = {}
+    for record in spans:
+        if record.get("cat") != "cell":
+            continue
+        cell_id = dict(record.get("args", {})).get("cell_id")
+        if cell_id:
+            attempts_by_cell.setdefault(str(cell_id), []).append(record)
+    flow_links = 0
+    for cell_id in sorted(attempts_by_cell):
+        chain = sorted(
+            attempts_by_cell[cell_id], key=lambda r: float(r.get("t0", 0.0))
+        )
+        for k in range(len(chain) - 1):
+            prev, nxt = chain[k], chain[k + 1]
+            flow_id = f"{cell_id}#{k}"
+            start_ts = (float(prev.get("t1", prev.get("t0", 0.0))) - base) * 1e6
+            finish_ts = (float(nxt.get("t0", 0.0)) - base) * 1e6
+            body.append(
+                {
+                    "name": "retry",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": start_ts,
+                    "pid": pids[str(prev.get("lane", "unknown"))],
+                    "tid": 0,
+                }
+            )
+            body.append(
+                {
+                    "name": "retry",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": max(finish_ts, start_ts),
+                    "pid": pids[str(nxt.get("lane", "unknown"))],
+                    "tid": 0,
+                }
+            )
+            flow_links += 1
+
+    body.sort(key=lambda event: event["ts"])
+    return {
+        "traceEvents": events + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "epoch seconds x 1e6, rebased to first event",
+            "trace_name": trace_name,
+            "lanes": len(lanes),
+            "flow_links": flow_links,
+        },
+    }
+
+
 def _depth(span: Span, by_id: Dict[int, Span]) -> int:
     depth = 0
     current = span

@@ -1,0 +1,219 @@
+"""Host-side hot-path profiler behind ``repro profile``.
+
+The simulator's own tracer (:mod:`repro.obs.tracer`) measures
+*simulated* time; this module measures *host* time — which Python
+frames the interpreter actually burns wall-clock in — so the ROADMAP's
+vectorization work on the :mod:`repro.uarch` inner loops has before and
+after evidence instead of guesses.
+
+Built on stdlib ``cProfile``/``pstats`` (deterministic-safe: profiling
+observes the call tree, it never feeds anything back into the run).
+The profiled call's return value is handed back unchanged, and every
+measured number is wall-clock, so the whole output is quarantined:
+:meth:`HostProfile.timings` is designed to land in a registry record's
+``timings`` field and nowhere else.  This module is on the DET003
+quarantine list for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import os
+import pstats
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ProfilerError
+from repro.report.tables import render_table
+
+#: Default self-time coverage target when selecting hot functions.
+DEFAULT_COVERAGE = 0.95
+
+#: Hard cap on selected entries regardless of coverage.
+DEFAULT_CAP = 60
+
+__all__ = [
+    "DEFAULT_COVERAGE",
+    "DEFAULT_CAP",
+    "HotFunction",
+    "HostProfile",
+    "module_of",
+    "profile_call",
+]
+
+
+def module_of(filename: str) -> str:
+    """Best-effort dotted module name for a profiled code object.
+
+    ``~`` is cProfile's marker for C-level builtins.  Files inside the
+    ``repro`` package map to their real dotted path (the part that
+    matters: attribution to ``repro.uarch.*``); anything else keeps its
+    bare stem so stdlib frames stay recognisable without leaking
+    machine-specific path prefixes into reports.
+    """
+
+    if filename.startswith("~") or not filename:
+        return "<builtin>"
+    normalized = filename.replace(os.sep, "/")
+    marker = "/repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        dotted = normalized[index + 1:]
+        if dotted.endswith(".py"):
+            dotted = dotted[:-3]
+        if dotted.endswith("/__init__"):
+            dotted = dotted[: -len("/__init__")]
+        return dotted.replace("/", ".")
+    stem = os.path.basename(normalized)
+    return stem[:-3] if stem.endswith(".py") else stem
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One profiled function: where it lives and what it cost."""
+
+    module: str
+    function: str
+    file: str
+    line: int
+    calls: int
+    self_s: float
+    cum_s: float
+
+
+class HostProfile:
+    """Ranked host-time attribution for one profiled call."""
+
+    def __init__(self, entries: List[HotFunction]):
+        if not entries:
+            raise ProfilerError("profiler captured no frames")
+        self.entries = sorted(entries, key=lambda e: (-e.self_s, e.module,
+                                                      e.function))
+        self.total_s = sum(entry.self_s for entry in self.entries)
+
+    # ---- selection --------------------------------------------------------
+    def entries_for(self, coverage: float = DEFAULT_COVERAGE,
+                    cap: int = DEFAULT_CAP) -> List[HotFunction]:
+        """The ranked prefix covering ``coverage`` of total self time.
+
+        Coverage-based (not a fixed top-N) so the ≥80 % attribution
+        guarantee holds whether the workload has 5 hot frames or 50.
+        """
+        selected: List[HotFunction] = []
+        accumulated = 0.0
+        target = coverage * self.total_s
+        for entry in self.entries:
+            if len(selected) >= cap:
+                break
+            selected.append(entry)
+            accumulated += entry.self_s
+            if accumulated >= target:
+                break
+        return selected
+
+    def attributed_fraction(self, coverage: float = DEFAULT_COVERAGE,
+                            cap: int = DEFAULT_CAP) -> float:
+        if self.total_s <= 0.0:
+            return 1.0
+        selected = self.entries_for(coverage, cap)
+        return sum(entry.self_s for entry in selected) / self.total_s
+
+    def uarch_fraction(self) -> float:
+        """Share of self time spent inside :mod:`repro.uarch`."""
+        if self.total_s <= 0.0:
+            return 0.0
+        uarch = sum(
+            entry.self_s for entry in self.entries
+            if entry.module.startswith("repro.uarch")
+        )
+        return uarch / self.total_s
+
+    # ---- quarantined export ----------------------------------------------
+    def timings(self, prefix: str = "hostprof") -> Dict[str, float]:
+        """Wall-clock attribution as registry ``timings`` entries.
+
+        Everything here is host noise by definition, so the caller must
+        store it in a record's ``timings`` (never ``metrics``).
+        """
+        out: Dict[str, float] = {
+            f"{prefix}.total_s": self.total_s,
+            f"{prefix}.attributed_fraction": self.attributed_fraction(),
+            f"{prefix}.uarch_fraction": self.uarch_fraction(),
+            f"{prefix}.frames": float(len(self.entries)),
+        }
+        for entry in self.entries_for():
+            key = f"{prefix}.self_s.{entry.module}.{entry.function}"
+            out[key] = out.get(key, 0.0) + entry.self_s
+        return out
+
+    # ---- human output -----------------------------------------------------
+    def render_table(self, top: int = 20) -> str:
+        rows = []
+        for entry in self.entries[:top]:
+            share = (
+                entry.self_s / self.total_s if self.total_s > 0 else 0.0
+            )
+            rows.append([
+                f"{entry.module}.{entry.function}",
+                entry.calls,
+                entry.self_s,
+                entry.cum_s,
+                100.0 * share,
+            ])
+        return render_table(
+            ["function", "calls", "self (s)", "cum (s)", "self %"],
+            rows,
+            title="Hot functions (host wall-clock, quarantined)",
+            float_format="{:.4f}",
+        )
+
+    def render_flame(self, width: int = 40, top_modules: int = 12) -> str:
+        """A module-grouped flame-style rollup of self time."""
+        by_module: Dict[str, float] = {}
+        for entry in self.entries:
+            by_module[entry.module] = (
+                by_module.get(entry.module, 0.0) + entry.self_s
+            )
+        ranked = sorted(by_module.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines = ["Flame rollup (self time by module):"]
+        for module, seconds in ranked[:top_modules]:
+            share = seconds / self.total_s if self.total_s > 0 else 0.0
+            bar = "#" * max(1, int(round(share * width)))
+            lines.append(
+                f"  {module:<34s} {seconds:9.4f} s {100 * share:5.1f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(fn, *args, **kwargs) -> Tuple[object, HostProfile]:
+    """Run ``fn`` under cProfile; return its value and the attribution.
+
+    The call's return value is bit-identical to an unprofiled call —
+    cProfile only watches frame transitions — which the overhead bench
+    asserts on a full fixed-seed experiment.
+    """
+
+    profiler = cProfile.Profile()
+    try:
+        profiler.enable()
+        try:
+            value = fn(*args, **kwargs)
+        finally:
+            profiler.disable()
+    except ValueError as error:  # another profiler is already installed
+        raise ProfilerError(f"cannot install profiler: {error}")
+    stats = pstats.Stats(profiler)
+    entries = [
+        HotFunction(
+            module=module_of(file),
+            function=name,
+            file=file,
+            line=line,
+            calls=int(nc),
+            self_s=float(tt),
+            cum_s=float(ct),
+        )
+        for (file, line, name), (cc, nc, tt, ct, callers)
+        in stats.stats.items()
+    ]
+    return value, HostProfile(entries)

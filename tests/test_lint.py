@@ -118,6 +118,32 @@ class TestRuleFixtures:
         """, module="repro.obs.profiler")
         assert findings == []
 
+    def test_det003_quarantine_covers_observability_modules(self, tmp_path):
+        for module in (
+            "repro.obs.hostprof",
+            "repro.obs.stream",
+            "repro.exec.tracing",
+        ):
+            findings, _ = lint_source(tmp_path, """
+                import time
+
+                def stamp():
+                    return time.time()
+            """, module=module)
+            assert findings == [], module
+
+    def test_det003_exec_quarantine_is_not_blanket(self, tmp_path):
+        # Only the supervisor/pool/tracing side of repro.exec may touch
+        # wall-clock; cells, checkpoint and merge produce record bytes,
+        # so a clock read there must still fire.
+        findings, _ = lint_source(tmp_path, """
+            import time
+
+            def stamp():
+                return time.time()
+        """, module="repro.exec.cells")
+        assert rule_ids(findings) == ["DET003"]
+
     def test_det004_set_iteration_into_list(self, tmp_path):
         findings, _ = lint_source(tmp_path, """
             def collect(items):

@@ -1,0 +1,105 @@
+"""Registry-destination audit: every recording verb honours --runs-dir.
+
+One parametrized matrix over (recording verb) x (configuration
+channel).  Each case runs the verb with the registry pointed at a
+fresh directory — once via the ``--runs-dir`` flag (with
+``$REPRO_RUNS_DIR`` deliberately aimed elsewhere, proving flag
+precedence) and once via the environment variable alone — and asserts
+the run record lands there and nowhere else.  A final case proves the
+read side: ``repro metrics`` scrapes the directory it is pointed at.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def _invocation(verb, tmp_path):
+    """argv for one cheap recording invocation of ``verb``."""
+    if verb == "run":
+        return ["--scale", "0.1", "run", "H-Grep"]
+    if verb == "trace":
+        return [
+            "--scale", "0.1", "trace", "H-Grep",
+            "--out", str(tmp_path / "trace-out.json"),
+        ]
+    if verb == "sweep":
+        return [
+            "--scale", "0.1", "sweep", "--workloads", "H-Grep",
+            "--jobs", "1", "--name", "audit",
+        ]
+    if verb == "faults":
+        return ["--scale", "0.1", "faults"]
+    if verb == "chaos":
+        return [
+            "--scale", "0.1", "chaos", "--seeds", "1",
+            "--workloads", "wordcount", "--stacks", "Spark",
+            "--artifact-dir", str(tmp_path / "chaos-artifacts"),
+        ]
+    if verb == "fig":
+        return ["--scale", "0.1", "fig", "2", "--jobs", "1"]
+    if verb == "table":
+        return ["table", "1"]
+    if verb == "profile":
+        return ["--scale", "0.1", "profile", "H-Grep"]
+    raise AssertionError(f"unknown verb {verb}")
+
+
+RECORDING_VERBS = [
+    "run", "trace", "sweep", "faults", "chaos", "fig", "table", "profile",
+]
+
+
+def records_in(path):
+    return sorted(
+        os.path.basename(p) for p in glob.glob(os.path.join(path, "*.json"))
+    )
+
+
+@pytest.mark.parametrize("verb", RECORDING_VERBS)
+@pytest.mark.parametrize("channel", ["flag", "env"])
+def test_record_lands_in_requested_dir(verb, channel, tmp_path, monkeypatch):
+    target = tmp_path / "target-runs"
+    decoy = tmp_path / "decoy-runs"
+    if channel == "flag":
+        # The flag must win over a conflicting environment variable.
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(decoy))
+        argv = ["--runs-dir", str(target)] + _invocation(verb, tmp_path)
+    else:
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(target))
+        argv = _invocation(verb, tmp_path)
+    monkeypatch.chdir(tmp_path)  # any relative-path writes stay in tmp
+
+    assert main(argv) == 0
+    assert records_in(str(target)), f"{verb} wrote no record to {target}"
+    assert not os.path.isdir(decoy) or not records_in(str(decoy))
+    # No stray default registry next to the working directory either.
+    assert not os.path.isdir(tmp_path / ".repro-runs")
+
+
+def test_no_record_suppresses_registry(tmp_path, monkeypatch, capsys):
+    target = tmp_path / "target-runs"
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(target))
+    assert main(["--scale", "0.1", "--no-record", "run", "H-Grep"]) == 0
+    assert not os.path.isdir(target) or not records_in(str(target))
+
+
+def test_metrics_reads_requested_dir(tmp_path, monkeypatch, capsys):
+    first = tmp_path / "first-runs"
+    second = tmp_path / "second-runs"
+    assert main(
+        ["--scale", "0.1", "--runs-dir", str(first), "run", "H-Grep"]
+    ) == 0
+    capsys.readouterr()
+
+    assert main(["--runs-dir", str(first), "metrics"]) == 0
+    assert 'experiment="run.H-Grep"' in capsys.readouterr().out
+
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(second))
+    assert main(["metrics"]) == 0
+    text = capsys.readouterr().out
+    assert 'experiment="run.H-Grep"' not in text
+    assert text.endswith("# EOF\n")

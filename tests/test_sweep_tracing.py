@@ -1,0 +1,188 @@
+"""Cross-process sweep tracing: span files, merge, flows, bit-identity.
+
+Covers the observability tentpole's first leg: workers and the
+supervisor write per-process ``*.spans.jsonl`` files which merge into
+one Chrome/Perfetto trace with per-worker lanes, and a killed attempt
+links to its retry on another worker via a flow event.  The standing
+invariant from the executor PRs — observed runs are bit-identical to
+unobserved ones — is asserted directly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import TraceMergeError
+from repro.exec import (
+    SpanWriter,
+    SweepTracer,
+    merge_results,
+    merge_sweep_trace,
+    read_span_records,
+    worker_lane,
+)
+from repro.obs import sweep_records_to_chrome
+
+from tests.test_exec_supervisor import fast_executor, make_cells
+
+
+def run_traced(tmp_path, cells, jobs, **overrides):
+    trace_dir = tmp_path / f"trace-j{jobs}"
+    tracer = SweepTracer(str(trace_dir))
+    executor = fast_executor(jobs, tracer=tracer, **overrides)
+    outcome = executor.run(cells)
+    tracer.close()
+    return outcome, str(trace_dir)
+
+
+class TestSpanWriter:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "w.spans.jsonl"
+        writer = SpanWriter(str(path))
+        writer.span("lane-a", "cell-1", "cell", 10.0, 12.5, cell_id="cell-1")
+        writer.instant("lane-a", "retry", "retry", 13.0, attempt=2)
+        writer.close()
+        records = read_span_records(str(tmp_path))
+        assert [r["kind"] for r in records] == ["span", "instant"]
+        span = records[0]
+        assert span["lane"] == "lane-a"
+        assert span["t0"] == 10.0 and span["t1"] == 12.5
+        assert span["args"]["cell_id"] == "cell-1"
+        assert records[1]["t"] == 13.0
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "w.spans.jsonl"
+        writer = SpanWriter(str(path))
+        writer.span("lane-a", "ok", "cell", 1.0, 2.0)
+        writer.close()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "span", "truncated')
+        records = read_span_records(str(tmp_path))
+        assert len(records) == 1
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(TraceMergeError):
+            read_span_records(str(tmp_path / "nope"))
+
+    def test_worker_lane_embeds_pid(self):
+        assert worker_lane(4242, 1) == "worker-4242-1"
+
+
+class TestTracedSweep:
+    def test_parallel_sweep_writes_worker_span_files(self, tmp_path):
+        cells = make_cells("ok_cell", count=4)
+        outcome, trace_dir = run_traced(tmp_path, cells, jobs=2)
+        assert outcome.complete
+        files = sorted(os.listdir(trace_dir))
+        assert any(f.startswith("supervisor-") for f in files)
+        assert sum(f.startswith("worker-") for f in files) >= 2
+        records = read_span_records(trace_dir)
+        cats = {r["cat"] for r in records}
+        assert {"sweep", "boot", "queue", "cell"} <= cats
+        cell_spans = [r for r in records if r["cat"] == "cell"]
+        assert {s["args"]["cell_id"] for s in cell_spans} == {
+            c.cell_id for c in cells
+        }
+
+    def test_serial_sweep_traces_on_supervisor_lane(self, tmp_path):
+        cells = make_cells("ok_cell", count=2)
+        outcome, trace_dir = run_traced(tmp_path, cells, jobs=1)
+        assert outcome.complete
+        records = read_span_records(trace_dir)
+        lanes = {r["lane"] for r in records}
+        assert len(lanes) == 1 and next(iter(lanes)).startswith("supervisor-")
+
+    def test_traced_run_bit_identical_to_untraced(self, tmp_path):
+        cells = make_cells("ok_cell", count=4)
+        plain = fast_executor(2).run(cells)
+        traced, _ = run_traced(tmp_path, cells, jobs=2)
+
+        def key(outcome):
+            merged = merge_results(cells, outcome.results)
+            return json.dumps(merged, sort_keys=True)
+
+        assert key(plain) == key(traced)
+
+    def test_sigkill_retry_links_across_worker_lanes(self, tmp_path):
+        cells = make_cells("sigkill_once_cell", count=2, tmp_path=tmp_path)
+        outcome, trace_dir = run_traced(tmp_path, cells, jobs=2)
+        assert outcome.complete
+        records = read_span_records(trace_dir)
+        killed = [
+            r for r in records
+            if r["cat"] == "cell" and r["args"].get("status") == "killed"
+        ]
+        assert killed, "supervisor should write the killed attempt's span"
+        trace = sweep_records_to_chrome(records)
+        flows = [e for e in trace["traceEvents"] if e["ph"] in ("s", "f")]
+        assert trace["otherData"]["flow_links"] >= 1
+        assert flows, "a retried cell must produce a flow link"
+        # At least one flow crosses lanes: the killed attempt's lane
+        # (dead worker) differs from the retry's (replacement worker).
+        by_id = {}
+        for event in flows:
+            by_id.setdefault(event["id"], {})[event["ph"]] = event["pid"]
+        assert any(
+            ends.get("s") != ends.get("f")
+            for ends in by_id.values()
+            if {"s", "f"} <= set(ends)
+        )
+
+
+class TestChromeExport:
+    def test_merged_trace_structural_schema(self, tmp_path):
+        cells = make_cells("flaky_cell", count=3, tmp_path=tmp_path)
+        _, trace_dir = run_traced(tmp_path, cells, jobs=2)
+        out_path = tmp_path / "trace.json"
+        n_events, n_flows = merge_sweep_trace(trace_dir, str(out_path))
+        with open(out_path) as handle:
+            trace = json.load(handle)  # valid JSON end to end
+        events = trace["traceEvents"]
+        assert len(events) == n_events
+        assert trace["otherData"]["flow_links"] == n_flows
+
+        meta = [e for e in events if e["ph"] == "M"]
+        body = [e for e in events if e["ph"] != "M"]
+        # Metadata first, then the body sorted by timestamp.
+        assert events[: len(meta)] == meta
+        stamps = [e["ts"] for e in body]
+        assert stamps == sorted(stamps)
+        assert body and min(stamps) == 0.0  # rebased to first event
+
+        for event in events:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        # Every flow id has both ends.
+        by_id = {}
+        for event in body:
+            if event["ph"] in ("s", "f"):
+                by_id.setdefault(event["id"], set()).add(event["ph"])
+        for ends in by_id.values():
+            assert ends == {"s", "f"}
+        # One Chrome pid per lane, supervisor lane first.
+        names = [
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        ]
+        assert names[0].startswith("supervisor-")
+        assert len(names) == trace["otherData"]["lanes"]
+
+    def test_lane_metadata_uses_embedded_os_pid(self):
+        records = [
+            {
+                "kind": "span", "lane": "worker-777-0", "pid": 1,
+                "name": "q", "cat": "queue", "t0": 0.0, "t1": 1.0,
+                "args": {"cell_id": "c"},
+            },
+        ]
+        trace = sweep_records_to_chrome(records)
+        names = [
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("name") == "process_name"
+        ]
+        assert names == ["worker-777-0 (os pid 777)"]
+
+    def test_merge_into_missing_dir_raises(self, tmp_path):
+        with pytest.raises(TraceMergeError):
+            merge_sweep_trace(str(tmp_path / "absent"), str(tmp_path / "t"))
