@@ -605,6 +605,97 @@ class TypedErrorsRule(Rule):
                 )
 
 
+class SwallowedIORule(Rule):
+    """ERR002 — durable-write modules silently discarding I/O errors."""
+
+    rule_id = "ERR002"
+    severity = ERROR
+    title = "silently swallowed I/O error in a durable-write module"
+    rationale = (
+        "the storage tier's durability contract is 'fail loudly or "
+        "count the loss': an `except OSError: pass` in a writer turns "
+        "ENOSPC into silent data loss that fsck and the crash campaign "
+        "can no longer prove absent.  Best-effort writers must count "
+        "drops (repro.fsio.BestEffortWriter); durable writers must "
+        "propagate."
+    )
+    fix_hint = (
+        "route the write through repro.fsio (BestEffortWriter counts, "
+        "write_json_atomic/JournalWriter propagate), re-raise a typed "
+        "error, or annotate a sanctioned swallow with # repro: "
+        "allow[ERR002] and a justification"
+    )
+    #: The modules that make up the durable-write storage tier.
+    only_modules = (
+        "repro.fsio",
+        "repro.obs.registry",
+        "repro.obs.stream",
+        "repro.obs.fsck",
+        "repro.exec.checkpoint",
+        "repro.exec.tracing",
+    )
+
+    #: Caught types broad enough to hide an I/O failure.  Narrow
+    #: control-flow types (FileNotFoundError, FileExistsError) are
+    #: legitimate protocol, not error swallowing.
+    _BROAD = frozenset({
+        "builtins.OSError", "builtins.IOError",
+        "builtins.EnvironmentError", "builtins.PermissionError",
+        "builtins.Exception", "builtins.BaseException",
+    })
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node, scopes in ctx.scoped_nodes():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._caught(ctx, node, scopes) & self._BROAD:
+                continue
+            if self._handles_error(node):
+                continue
+            yield self.finding(
+                ctx, node,
+                "handler discards a broad I/O error without re-raising "
+                "or recording it",
+            )
+
+    @staticmethod
+    def _caught(ctx, node: ast.ExceptHandler, scopes) -> Set[str]:
+        """Resolved origins of every type the handler catches."""
+        if node.type is None:
+            return {"builtins.BaseException"}
+        exprs = (
+            list(node.type.elts)
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        caught: Set[str] = set()
+        for expr in exprs:
+            origin = ctx.model.resolve(expr, scopes)
+            if origin is not None:
+                caught.add(origin)
+        return caught
+
+    @staticmethod
+    def _handles_error(node: ast.ExceptHandler) -> bool:
+        """True when the handler routes the error somewhere visible.
+
+        Routing means: re-raising (any ``raise``, including a typed
+        wrapper), or referencing the bound exception name (it reached
+        a counter, a message, or a finding).
+        """
+        for stmt in node.body:
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Raise):
+                    return True
+                if (
+                    node.name
+                    and isinstance(child, ast.Name)
+                    and child.id == node.name
+                ):
+                    return True
+        return False
+
+
 class UnusedImportRule(Rule):
     """IMP001 — imports never referenced in the module."""
 
@@ -668,6 +759,7 @@ ALL_RULES: List[Rule] = [
     ListingOrderRule(),
     ModuleStateRule(),
     TypedErrorsRule(),
+    SwallowedIORule(),
     UnusedImportRule(),
 ]
 

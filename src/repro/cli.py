@@ -314,6 +314,20 @@ def _merge_observability(tracer, stream, checkpoint_dir: str,
     return out
 
 
+def _observability_telemetry(tracer, stream) -> dict:
+    """Writer drop counters from the sweep's observers.
+
+    These prove (or disprove) silent data loss: ``stream_*`` counts
+    progress events, ``trace_*`` counts supervisor-lane spans.  They
+    ride into the record's ``exec.*`` timings and surface via
+    ``repro metrics`` as ``repro_exec_telemetry``.
+    """
+    counters = dict(stream.telemetry())
+    if tracer is not None:
+        counters.update(tracer.telemetry())
+    return counters
+
+
 def _prime_context(args, context: ExperimentContext, name: str,
                    pairs) -> None:
     """Fan a verb's characterization cells out across worker processes.
@@ -353,6 +367,8 @@ def _prime_context(args, context: ExperimentContext, name: str,
         observer=stream,
     )
     _merge_observability(tracer, stream, checkpoint.dir)
+    for key, value in _observability_telemetry(tracer, stream).items():
+        context.registry.add(f"exec.{key}", value)
     if outcome.quarantined:
         print(
             f"warning: {len(outcome.quarantined)} sweep cell(s) "
@@ -485,6 +501,7 @@ def _cmd_sweep(args) -> int:
     )
     outcome = executor.run(cells, checkpoint=checkpoint, resume=args.resume)
     _merge_observability(tracer, stream, checkpoint.dir, quiet=args.json)
+    outcome.telemetry.update(_observability_telemetry(tracer, stream))
 
     if outcome.quarantined:
         print(
@@ -856,6 +873,78 @@ def _cmd_lint(args) -> int:
     return 1 if fresh else 0
 
 
+def _cmd_fsck(args) -> int:
+    """Scan (and optionally repair) the runs directory; diff-style exits."""
+    from repro.obs.fsck import fsck_repair, fsck_scan
+
+    try:
+        result = fsck_scan(args.runs_dir)
+    except FileNotFoundError:
+        print(f"fsck: runs directory {args.runs_dir!r} does not exist",
+              file=sys.stderr)
+        return 3
+    payload = result.to_dict()
+    exit_clean = result.clean
+    if args.repair and result.findings:
+        fsck_repair(result)
+        after = fsck_scan(args.runs_dir)
+        payload = result.to_dict()
+        payload["post_repair"] = after.to_dict()
+        exit_clean = after.clean
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        if args.repair and "post_repair" in payload:
+            repaired = sum(1 for f in result.findings if f.repaired)
+            print(f"\nrepaired {repaired} finding(s); post-repair scan: "
+                  + ("clean" if exit_clean else "still has errors"))
+    return 0 if exit_clean else 1
+
+
+def _cmd_crashsim(args) -> int:
+    """Run the crash-consistency campaign over a scratch sweep."""
+    import shutil
+    import tempfile
+
+    from repro.analysis.crashsim import run_campaign
+
+    work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-crashsim-")
+    cleanup = args.work_dir is None
+    try:
+        result = run_campaign(
+            work_dir,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            max_points=args.max_points,
+            errno_points=args.errno_points,
+            fsync_lie_points=args.fsync_lie_points,
+            artifact_dir=args.artifact_dir,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(work_dir, ignore_errors=True)
+    _save_record(args, RunRecord(
+        experiment="crashsim",
+        kind="analysis",
+        metrics=result.fidelity_metrics(),
+        provenance=build_provenance(
+            experiment="crashsim", seed=args.seed, scale=args.scale,
+            platforms=[],
+            config={"max_points": args.max_points,
+                    "errno_points": args.errno_points,
+                    "fsync_lie_points": args.fsync_lie_points,
+                    "jobs": args.jobs},
+        ),
+    ), quiet=True)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1187,6 +1276,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="PYTHONHASHSEED values for --dynamic (default 1,731)",
     )
     lint_parser.add_argument("--json", action="store_true")
+
+    fsck_parser = commands.add_parser(
+        "fsck",
+        help="scan the runs directory for torn, corrupt or orphaned "
+             "artifacts; exits 1 on errors, 3 if the directory is missing",
+    )
+    fsck_parser.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt artifacts, drop torn journal tails, "
+             "rebuild divergent snapshots and remove leaked tmp files / "
+             "stale locks, then rescan",
+    )
+    fsck_parser.add_argument(
+        "--json", action="store_true",
+        help="emit typed findings as JSON instead of a report",
+    )
+
+    crashsim_parser = commands.add_parser(
+        "crashsim",
+        help="crash-consistency campaign: crash/errno/fsync-lie faults "
+             "at every sampled syscall of an instrumented sweep must "
+             "leave a state repro fsck can certify or repair, with "
+             "bit-identical resumed metrics",
+    )
+    crashsim_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed: drives torn-write lengths and rename "
+             "rollback choices (default 0)",
+    )
+    crashsim_parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the instrumented sweeps (default 2)",
+    )
+    crashsim_parser.add_argument(
+        "--max-points", type=int, default=24, metavar="N",
+        help="crash points sampled across the op space (default 24)",
+    )
+    crashsim_parser.add_argument(
+        "--errno-points", type=int, default=6, metavar="N",
+        help="ENOSPC/EIO injection points (default 6)",
+    )
+    crashsim_parser.add_argument(
+        "--fsync-lie-points", type=int, default=4, metavar="N",
+        help="crash points additionally re-run with a lying fsync "
+             "(default 4)",
+    )
+    crashsim_parser.add_argument(
+        "--work-dir", default=None, metavar="DIR",
+        help="scratch directory for campaign sweeps (default: a "
+             "temporary directory, removed afterwards)",
+    )
+    crashsim_parser.add_argument(
+        "--artifact-dir", default="crashsim-artifacts", metavar="DIR",
+        help="where minimized crash traces for failing points land "
+             "(default crashsim-artifacts/)",
+    )
+    crashsim_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the campaign verdict as JSON instead of a report",
+    )
     return parser
 
 
@@ -1208,6 +1357,8 @@ _HANDLERS = {
     "diff": _cmd_diff,
     "history": _cmd_history,
     "lint": _cmd_lint,
+    "fsck": _cmd_fsck,
+    "crashsim": _cmd_crashsim,
 }
 
 

@@ -25,7 +25,9 @@ wrong without parsing messages:
   bad input never produces a traceback.
 - :class:`ExecError` — the parallel sweep executor could not complete
   or trust a sweep: a checkpoint is corrupt or belongs to a different
-  configuration (:class:`CheckpointError`), a cell result failed its
+  configuration (:class:`CheckpointError`), another live process holds
+  the sweep's advisory lock (:class:`SweepLockError`), a cell result
+  failed its
   provenance-hash validation at merge time
   (:class:`CellIntegrityError`), or the per-worker span files of a
   sweep could not be merged into one trace
@@ -127,6 +129,16 @@ class ExecError(SimulationError):
 
 class CheckpointError(ExecError):
     """A sweep checkpoint is corrupt or from a different sweep config."""
+
+
+class SweepLockError(CheckpointError):
+    """Another live process holds the sweep's advisory lock.
+
+    Raised instead of interleaving journal appends: two concurrent
+    resumes of the same sweep would corrupt the checkpoint.  Stale
+    locks (holder pid no longer alive) are broken automatically and do
+    not raise.
+    """
 
 
 class CellIntegrityError(ExecError):

@@ -20,6 +20,7 @@ from repro.exec.cells import (  # noqa: F401
 )
 from repro.exec.checkpoint import (  # noqa: F401
     SweepCheckpoint,
+    SweepLock,
     sweep_id,
 )
 from repro.exec.merge import (  # noqa: F401
@@ -46,6 +47,7 @@ __all__ = [
     "SweepCell",
     "SweepCheckpoint",
     "SweepExecutor",
+    "SweepLock",
     "SweepOutcome",
     "SweepTracer",
     "decompose",

@@ -15,24 +15,36 @@ Layout, under ``<runs dir>/sweeps/<sweep_id>/``:
   corrupt the journal alone still reconstructs the state; the bad file
   is quarantined to ``snapshot.json.corrupt``.
 
+- ``sweep.lock`` — an advisory lockfile (JSON ``{"pid": ...}``) held
+  while an executor owns the checkpoint, so two concurrent resumes of
+  the same sweep cannot interleave journal appends.  A lock whose
+  holder pid is no longer alive is *stale* and broken automatically; a
+  live holder raises :class:`~repro.errors.SweepLockError`.
+
 The durable key is (config hash, seed): ``repro sweep --resume`` finds
 the checkpoint by recomputing the hash from its arguments, so "the same
 sweep" is a property of the request, not of a process lifetime.
+
+All writes route through :mod:`repro.fsio` (the ``io`` constructor
+argument), which is what lets the crash-consistency campaign enumerate
+every syscall boundary in this file.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
 
-from repro.errors import CheckpointError
-from repro.exec.cells import CellResult
-from repro.obs.registry import (
-    atomic_write_json,
+from repro.errors import CheckpointError, SweepLockError
+from repro.fsio import (
+    JournalWriter,
+    SimulatedCrash,
     fsync_dir,
     quarantine_corrupt,
+    write_json_atomic,
 )
+from repro.exec.cells import CellResult
 
 #: Bumped on incompatible checkpoint-layout changes.
 CHECKPOINT_VERSION = 1
@@ -40,21 +52,114 @@ CHECKPOINT_VERSION = 1
 #: Default cells between snapshot rewrites.
 SNAPSHOT_EVERY = 10
 
+#: Lockfile name inside a sweep checkpoint directory.
+LOCK_FILE = "sweep.lock"
+
 
 def sweep_id(name: str, config_hash: str, seed: int) -> str:
     """The durable checkpoint key for one sweep request."""
     return f"{name}-{config_hash}-s{seed}"
 
 
+class SweepLock:
+    """Advisory per-sweep lockfile with stale-holder detection.
+
+    Created with ``O_EXCL`` so exactly one process wins; the file body
+    is JSON ``{"pid": ...}``.  A lock is considered *stale* — and
+    silently broken — when any of these hold:
+
+    - the recorded pid is not alive (``os.kill(pid, 0)`` says so);
+    - the recorded pid is *this* process (a previous in-process owner
+      crashed without releasing — the simulated-crash path — and a
+      process cannot race itself);
+    - the body does not parse (the lock itself was torn by a crash).
+
+    A lock held by a different live process raises
+    :class:`~repro.errors.SweepLockError`.
+    """
+
+    def __init__(self, path: str, io=None):
+        from repro.fsio import REAL_IO
+        self.path = path
+        self.io = io if io is not None else REAL_IO
+        self._held = False
+
+    def acquire(self) -> None:
+        if self._held:
+            return
+        self.io.makedirs(os.path.dirname(self.path) or ".")
+        while True:
+            try:
+                handle = self.io.open_exclusive(self.path)
+            except FileExistsError:
+                holder = self._holder_pid()
+                if holder is not None and self._alive(holder):
+                    raise SweepLockError(
+                        f"sweep checkpoint is locked by live pid {holder}; "
+                        f"another resume is running (remove {self.path} "
+                        f"only if you are sure it is not)",
+                    )
+                # Stale (dead holder, our own pid, or torn body): break it.
+                try:
+                    self.io.remove(self.path)
+                except FileNotFoundError:
+                    pass  # the holder released between our check and remove
+                continue
+            try:
+                self.io.write(handle, json.dumps({"pid": os.getpid()}) + "\n")
+                self.io.flush(handle)
+            finally:
+                self.io.close(handle)
+            self._held = True
+            return
+
+    def release(self) -> None:
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.io.remove(self.path)
+        except (OSError, SimulatedCrash):  # repro: allow[ERR002]
+            # A dead (or dying) process cannot release its lock: the
+            # stale file stays behind for fsck / the next acquire to
+            # break, which is exactly the state being simulated.
+            pass
+
+    def _holder_pid(self) -> Optional[int]:
+        """The pid recorded in the lockfile, or None if unreadable."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                body = json.load(handle)
+            return int(body["pid"])
+        except (OSError, ValueError, KeyError, TypeError):  # repro: allow[ERR002] — read-path probe, unreadable == stale
+            return None  # torn or foreign lock body: treat as stale
+
+    @staticmethod
+    def _alive(pid: int) -> bool:
+        if pid == os.getpid():
+            return False  # our own leftover (in-process crash recovery)
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except PermissionError:  # repro: allow[ERR002] — signal-0 probe, not a write
+            return True  # alive, just not ours to signal
+        except OSError:  # repro: allow[ERR002] — signal-0 probe, not a write
+            return False
+        return True
+
+
 class SweepCheckpoint:
     """Journaled progress of one sweep, resumable after any crash."""
 
     def __init__(self, root: str, sweep: str, *,
-                 snapshot_every: int = SNAPSHOT_EVERY):
+                 snapshot_every: int = SNAPSHOT_EVERY, io=None):
         self.dir = os.path.join(root, "sweeps", sweep)
         self.sweep = sweep
         self.snapshot_every = snapshot_every
-        self._journal = None
+        self.io = io
+        self.lock = SweepLock(os.path.join(self.dir, LOCK_FILE), io=io)
+        self._journal: Optional[JournalWriter] = None
         self._since_snapshot = 0
         self._results: Dict[str, CellResult] = {}
 
@@ -82,7 +187,8 @@ class SweepCheckpoint:
         Resuming with a different config hash is refused: a checkpoint
         answers exactly one (config, seed) request.
         """
-        os.makedirs(self.dir, exist_ok=True)
+        from repro.fsio import REAL_IO
+        (self.io or REAL_IO).makedirs(self.dir)
         if self.exists():
             manifest = self.manifest()
             if manifest.get("config_hash") != config_hash:
@@ -92,14 +198,14 @@ class SweepCheckpoint:
                     f"remove {self.dir} or change --name",
                 )
             return
-        atomic_write_json(self.manifest_path, {
+        write_json_atomic(self.manifest_path, {
             "version": CHECKPOINT_VERSION,
             "sweep": self.sweep,
             "config_hash": config_hash,
             "seed": seed,
             "config": config,
             "n_cells": n_cells,
-        })
+        }, io=self.io)
 
     def manifest(self) -> dict:
         try:
@@ -114,13 +220,8 @@ class SweepCheckpoint:
     def record(self, result: CellResult) -> None:
         """Durably journal one finished cell before anything else sees it."""
         if self._journal is None:
-            os.makedirs(self.dir, exist_ok=True)
-            self._journal = open(self.journal_path, "a", encoding="utf-8")
-        line = json.dumps(result.to_dict(), sort_keys=True,
-                          separators=(",", ":"))
-        self._journal.write(line + "\n")
-        self._journal.flush()
-        os.fsync(self._journal.fileno())
+            self._journal = JournalWriter(self.journal_path, io=self.io)
+        self._journal.append(result.to_dict())
         self._results[result.cell_id] = result
         self._since_snapshot += 1
         if self._since_snapshot >= self.snapshot_every:
@@ -128,14 +229,14 @@ class SweepCheckpoint:
 
     def write_snapshot(self) -> None:
         """Atomically persist the consolidated state (tmp + replace)."""
-        atomic_write_json(self.snapshot_path, {
+        write_json_atomic(self.snapshot_path, {
             "version": CHECKPOINT_VERSION,
             "sweep": self.sweep,
             "cells": {
                 cell_id: result.to_dict()
                 for cell_id, result in sorted(self._results.items())
             },
-        })
+        }, io=self.io)
         self._since_snapshot = 0
 
     def close(self) -> None:
@@ -144,7 +245,7 @@ class SweepCheckpoint:
             self._journal = None
         if self._results:
             self.write_snapshot()
-        fsync_dir(self.dir)
+        fsync_dir(self.dir, io=self.io)
 
     # ---- reading ----------------------------------------------------------
     def load(self) -> Dict[str, CellResult]:

@@ -148,7 +148,31 @@ class SweepExecutor:
         checkpoint: Optional[SweepCheckpoint] = None,
         resume: bool = False,
     ) -> SweepOutcome:
-        """Execute the cells, honouring and feeding the checkpoint."""
+        """Execute the cells, honouring and feeding the checkpoint.
+
+        When a checkpoint is attached, its advisory lock is held for
+        the whole run: a second executor (a concurrent ``--resume`` of
+        the same sweep) fails fast with
+        :class:`~repro.errors.SweepLockError` instead of interleaving
+        journal appends.  A crashed run leaves a stale lock behind;
+        the next acquire detects the dead holder and breaks it.
+        """
+        if checkpoint is not None:
+            checkpoint.lock.acquire()
+        try:
+            return self._run_locked(cells, checkpoint, resume)
+        finally:
+            if checkpoint is not None:
+                # Best-effort: a simulated crash mid-release leaves the
+                # stale lock exactly as a real dead process would.
+                checkpoint.lock.release()
+
+    def _run_locked(
+        self,
+        cells: Sequence[SweepCell],
+        checkpoint: Optional[SweepCheckpoint],
+        resume: bool,
+    ) -> SweepOutcome:
         started = time.perf_counter()
         started_wall = time.time()
         outcome = SweepOutcome()

@@ -14,7 +14,10 @@ Design constraints, in order:
   context travels in a ``_trace`` key that is excluded from the
   provenance hash (see :func:`repro.exec.cells._hashable_spec`), and
   every write is best-effort: an unwritable span file degrades to *no
-  trace*, never to a failed sweep.
+  trace*, never to a failed sweep.  Degradation is *counted*, not
+  silent — :class:`SpanWriter` rides on
+  :class:`repro.fsio.BestEffortWriter`, whose drop counters surface in
+  the sweep record's ``exec.*`` telemetry.
 - **Crash-tolerant files.**  Workers die mid-write (SIGKILL is a
   supported executor path), so the format is one JSON object per line,
   flushed per record, and the reader skips torn tails instead of
@@ -41,6 +44,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TraceMergeError
+from repro.fsio import BestEffortWriter, write_json_atomic
 
 SPAN_FILE_SUFFIX = ".spans.jsonl"
 
@@ -76,26 +80,22 @@ class SpanWriter:
     Opens lazily on first record so that merely constructing a writer
     (e.g. in a worker that never receives a cell) leaves no file.
     Writes are flushed per record — a killed process loses at most the
-    line it was writing, which the reader tolerates.  All I/O errors
-    are swallowed: tracing is an observer, never a failure mode.
+    line it was writing, which the reader tolerates.  I/O errors never
+    fail the sweep (tracing is an observer), but they are no longer
+    silent: the underlying :class:`repro.fsio.BestEffortWriter` counts
+    every dropped record and warns once on stderr.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, io=None):
         self.path = path
-        self._handle = None
-        self._failed = False
+        self._writer = BestEffortWriter(path, io=io, label="span writer")
 
     def _emit(self, record: Dict) -> None:
-        if self._failed:
-            return
-        try:
-            if self._handle is None:
-                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-            self._handle.flush()
-        except OSError:
-            self._failed = True
+        self._writer.append(record)
+
+    def telemetry(self, prefix: str = "trace") -> Dict[str, float]:
+        """Span write/drop counters, for ``exec.*`` telemetry."""
+        return self._writer.telemetry(prefix)
 
     def span(self, lane: str, name: str, cat: str, t0: float, t1: float, **args) -> None:
         self._emit(
@@ -125,12 +125,7 @@ class SpanWriter:
         )
 
     def close(self) -> None:
-        if self._handle is not None:
-            try:
-                self._handle.close()
-            except OSError:
-                pass
-            self._handle = None
+        self._writer.close()
 
 
 class SweepTracer:
@@ -144,13 +139,17 @@ class SweepTracer:
     cannot record itself.
     """
 
-    def __init__(self, trace_dir: str):
+    def __init__(self, trace_dir: str, io=None):
         os.makedirs(trace_dir, exist_ok=True)
         self.trace_dir = trace_dir
         self.lane = f"supervisor-{os.getpid()}"
         self._writer = SpanWriter(
-            os.path.join(trace_dir, self.lane + SPAN_FILE_SUFFIX)
+            os.path.join(trace_dir, self.lane + SPAN_FILE_SUFFIX), io=io
         )
+
+    def telemetry(self, prefix: str = "trace") -> Dict[str, float]:
+        """The supervisor lane's write/drop counters."""
+        return self._writer.telemetry(prefix)
 
     def span(self, name: str, cat: str, t0: float, t1: float, *, lane: Optional[str] = None, **args) -> None:
         self._writer.span(lane or self.lane, name, cat, t0, t1, **args)
@@ -199,22 +198,22 @@ def read_span_records(trace_dir: str) -> List[Dict]:
     return records
 
 
-def merge_sweep_trace(trace_dir: str, out_path: str) -> Tuple[int, int]:
+def merge_sweep_trace(trace_dir: str, out_path: str,
+                      io=None) -> Tuple[int, int]:
     """Merge all span files under ``trace_dir`` into one Chrome trace.
 
     Returns ``(n_events, n_flow_links)``.  The export shape (lane →
     pid/tid assignment, flow derivation) lives in
-    :func:`repro.obs.export.sweep_records_to_chrome`.
+    :func:`repro.obs.export.sweep_records_to_chrome`.  The merged file
+    is written with the full atomic protocol — tmp + fsync +
+    ``os.replace`` + parent-dir fsync, tmp cleaned up on failure — so a
+    crash during merge can never leave a torn ``trace.json``.
     """
 
     from repro.obs.export import sweep_records_to_chrome
 
     records = read_span_records(trace_dir)
     trace = sweep_records_to_chrome(records)
-    tmp = out_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(trace, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    os.replace(tmp, out_path)
+    write_json_atomic(out_path, trace, indent=1, io=io)
     n_flows = int(trace.get("otherData", {}).get("flow_links", 0))
     return len(trace["traceEvents"]), n_flows

@@ -33,6 +33,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.fsio import fsync_dir, quarantine_corrupt, write_json_atomic
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_RUNS_DIR",
+    "RUNS_DIR_ENV",
+    "runs_dir_default",
+    "fsync_dir",
+    "atomic_write_json",
+    "quarantine_corrupt",
+    "config_hash",
+    "build_provenance",
+    "flatten_rows",
+    "RunRecord",
+    "RunRegistry",
+]
+
 #: Bumped whenever the record layout changes incompatibly.
 SCHEMA_VERSION = 1
 
@@ -48,57 +65,14 @@ def runs_dir_default() -> str:
     return os.environ.get(RUNS_DIR_ENV) or DEFAULT_RUNS_DIR
 
 
-def fsync_dir(path: str) -> None:
-    """Best-effort fsync of a directory (rename durability)."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+def atomic_write_json(path: str, payload: object, *, io=None) -> None:
+    """Crash-safe JSON write — alias for :func:`repro.fsio.write_json_atomic`.
 
-
-def atomic_write_json(path: str, payload: object) -> None:
-    """Crash-safe JSON write: tmp file + fsync + ``os.replace``.
-
-    A reader never observes a half-written file: either the old content
-    (or nothing) or the complete new content exists at ``path``.
+    Kept under its historical name because checkpoint code and tests
+    import it from here; the implementation (tmp + fsync + replace +
+    dir fsync + tmp cleanup on failure) lives in :mod:`repro.fsio`.
     """
-    tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    fsync_dir(os.path.dirname(path) or ".")
-
-
-def quarantine_corrupt(path: str) -> str:
-    """Move an unreadable record aside to ``<file>.corrupt`` and warn.
-
-    Returns the quarantine path (a numeric suffix disambiguates repeat
-    offenders).  Never raises: if the rename itself fails the original
-    file is left in place and only the warning is printed.
-    """
-    target, n = f"{path}.corrupt", 1
-    while os.path.exists(target):
-        target = f"{path}.corrupt.{n}"
-        n += 1
-    try:
-        os.replace(path, target)
-    except OSError:
-        target = path
-    print(
-        f"warning: run record {path} is truncated or corrupt; "
-        f"quarantined to {target}",
-        file=sys.stderr,
-    )
-    return target
+    write_json_atomic(path, payload, io=io)
 
 
 def _git_sha() -> str:
@@ -109,7 +83,7 @@ def _git_sha() -> str:
             capture_output=True, text=True, timeout=10,
             cwd=os.path.dirname(os.path.abspath(__file__)),
         )
-    except (OSError, subprocess.SubprocessError):
+    except (OSError, subprocess.SubprocessError):  # repro: allow[ERR002] — provenance probe; "unknown" is the answer
         return "unknown"
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else "unknown"
@@ -223,8 +197,12 @@ class RunRegistry:
     disambiguates records saved within the same second).
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None, *, io=None):
         self.root = root if root is not None else runs_dir_default()
+        #: Durable-I/O backend for record writes (None → the real
+        #: filesystem); the crash-consistency campaign injects a
+        #: :class:`repro.fsio.FaultyIO` here.
+        self.io = io
 
     # ---- writing ----------------------------------------------------------
     def save(self, record: RunRecord) -> str:
@@ -247,7 +225,7 @@ class RunRegistry:
                 n += 1
             record.run_id = run_id
         path = self._path(record.run_id)
-        atomic_write_json(path, record.to_dict())
+        atomic_write_json(path, record.to_dict(), io=self.io)
         return path
 
     def _path(self, run_id: str) -> str:
@@ -269,7 +247,7 @@ class RunRegistry:
             path = os.path.join(self.root, name)
             try:
                 record = self.load_path(path)
-            except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):  # repro: allow[ERR002] — corrupt record is quarantined, not lost
                 # Truncated or corrupt on disk (a crash mid-write under a
                 # pre-atomic writer): move it aside so report/history keep
                 # working, and keep the evidence for inspection.

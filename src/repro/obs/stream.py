@@ -31,6 +31,8 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.fsio import BestEffortWriter
+
 #: Bumped on incompatible progress-event layout changes.
 PROGRESS_SCHEMA_VERSION = 1
 
@@ -85,16 +87,16 @@ class TerminalRenderer:
             self.out.write("\r" + line.ljust(self._width))
             self.out.flush()
             self._dirty = True
-        except (OSError, ValueError):
-            pass
+        except (OSError, ValueError):  # repro: allow[ERR002]
+            pass  # terminal cosmetics; the durable stream has counters
 
     def close(self) -> None:
         if self._dirty:
             try:
                 self.out.write("\n")
                 self.out.flush()
-            except (OSError, ValueError):
-                pass
+            except (OSError, ValueError):  # repro: allow[ERR002]
+                pass  # terminal cosmetics; nothing durable is lost
             self._dirty = False
 
 
@@ -104,17 +106,22 @@ class ProgressStream:
     Usable directly as the executor's ``observer`` (it is a callable).
     Derived fields (``cells_per_s``, ``eta_s``) are computed here, on
     the consumer side of the executor, so the supervisor stays free of
-    presentation arithmetic.  All I/O is best-effort: a dead disk
-    degrades to *no stream*, never to a failed sweep.
+    presentation arithmetic.  All I/O is best-effort via
+    :class:`repro.fsio.BestEffortWriter`: a dead disk degrades to *no
+    stream*, never to a failed sweep — but every dropped event is
+    counted (``stream_writer_errors`` / ``stream_dropped_events`` in
+    :meth:`telemetry`) and the first failure warns once on stderr.
     """
 
     def __init__(self, path: Optional[str] = None, *,
-                 sweep: Optional[str] = None, renderer=None):
+                 sweep: Optional[str] = None, renderer=None, io=None):
         self.path = path
         self.sweep = sweep
         self.renderer = renderer
-        self._handle = None
-        self._failed = False
+        self._writer = (
+            BestEffortWriter(path, io=io, label="progress stream")
+            if path is not None else None
+        )
         self._started = time.time()
         self._resumed = 0
 
@@ -146,32 +153,26 @@ class ProgressStream:
         if self.renderer is not None:
             try:
                 self.renderer.update(event)
-            except Exception:
+            except Exception:  # repro: allow[ERR002] — cosmetics only
                 pass
 
     def _write(self, event: Dict) -> None:
-        if self.path is None or self._failed:
-            return
-        try:
-            if self._handle is None:
-                os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
-                self._handle = open(self.path, "a", encoding="utf-8")
-            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
-            self._handle.flush()
-        except (OSError, TypeError, ValueError):
-            self._failed = True
+        if self._writer is not None:
+            self._writer.append(event)
+
+    def telemetry(self) -> Dict[str, float]:
+        """Stream write/drop counters, for the record's ``exec.*`` block."""
+        if self._writer is None:
+            return {}
+        return self._writer.telemetry("stream")
 
     def close(self) -> None:
-        if self._handle is not None:
-            try:
-                self._handle.close()
-            except OSError:
-                pass
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
         if self.renderer is not None:
             try:
                 self.renderer.close()
-            except Exception:
+            except Exception:  # repro: allow[ERR002] — cosmetics only
                 pass
 
 
@@ -180,7 +181,7 @@ def read_progress(path: str) -> List[Dict]:
     events: List[Dict] = []
     try:
         handle = open(path, "r", encoding="utf-8")
-    except OSError:
+    except OSError:  # repro: allow[ERR002] — read path; no stream == no events
         return events
     with handle:
         for line in handle:

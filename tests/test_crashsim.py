@@ -1,0 +1,106 @@
+"""The crash-consistency campaign: sampling, probe cells, a small run.
+
+The full campaign (CI-sized) runs in the workflow; here we keep the
+point counts small so the suite stays fast, and separately pin down
+the deterministic pieces (probe cell, sampling, fidelity metrics).
+"""
+
+import json
+
+from repro.analysis.crashsim import (
+    CampaignPoint,
+    PROBE_CELL_FN,
+    _sample_points,
+    probe_cell,
+    run_campaign,
+)
+from repro.cli import main
+
+
+class TestProbeCell:
+    def test_closed_form_and_deterministic(self):
+        spec = {"workload": "wordcount", "platform": "e5645",
+                "scale": 0.2, "seed": 1}
+        first = probe_cell(spec)
+        assert first == probe_cell(dict(spec))
+        assert first["metrics"]["value"] == 1 * 10.0 + len("wordcount")
+        assert first["metrics"]["scale"] == 0.2
+
+    def test_dotted_path_resolves(self):
+        from repro.exec.cells import resolve_cell_fn
+        assert resolve_cell_fn(PROBE_CELL_FN) is probe_cell
+
+
+class TestSamplePoints:
+    def test_empty_and_degenerate(self):
+        assert _sample_points(0, 8) == []
+        assert _sample_points(10, 0) == []
+        assert _sample_points(10, 1) == [9]
+
+    def test_small_op_space_is_exhaustive(self):
+        assert _sample_points(3, 8) == [0, 1, 2]
+
+    def test_stride_includes_first_and_last(self):
+        points = _sample_points(100, 10)
+        assert points[0] == 0
+        assert points[-1] == 99
+        assert len(points) == 10
+        assert points == sorted(set(points))
+
+
+class TestCampaign:
+    def test_small_campaign_passes(self, tmp_path):
+        result = run_campaign(
+            str(tmp_path), seed=0, jobs=2,
+            max_points=3, errno_points=2, fsync_lie_points=1,
+        )
+        assert result.ok
+        assert result.silent_loss == 0
+        assert result.n_ops > 0
+        assert len(result.points) == 3 + 2 + 1
+        statuses = {p.status for p in result.points}
+        assert statuses <= {"clean", "recovered", "survived"}
+        # At least one sampled crash point actually needed recovery.
+        assert any(p.status in ("recovered", "clean")
+                   for p in result.points if p.kind == "crash")
+
+    def test_fidelity_metrics_and_render(self, tmp_path):
+        result = run_campaign(
+            str(tmp_path), seed=1, jobs=2,
+            max_points=2, errno_points=1, fsync_lie_points=1,
+        )
+        metrics = result.fidelity_metrics()
+        assert metrics["crashsim.failed"] == 0.0
+        assert metrics["crashsim.silent_loss"] == 0.0
+        assert metrics["crashsim.points"] == 4.0
+        assert metrics["crashsim.ops"] == float(result.n_ops)
+        assert result.render().strip().endswith("verdict: PASS")
+
+    def test_failed_point_serialises_crash_trace(self):
+        point = CampaignPoint(
+            kind="crash", op=7, detail="x", status="failed",
+            crash_trace={"op_log_tail": ["op 7: write /x"]},
+        )
+        payload = point.to_dict()
+        assert payload["status"] == "failed"
+        assert payload["crash_trace"]["op_log_tail"]
+
+
+class TestCrashsimCli:
+    def test_cli_runs_and_saves_record(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        rc = main([
+            "--runs-dir", runs, "crashsim",
+            "--max-points", "2", "--errno-points", "1",
+            "--fsync-lie-points", "1", "--json",
+            "--work-dir", str(tmp_path / "work"),
+            "--artifact-dir", str(tmp_path / "artifacts"),
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["silent_loss"] == 0
+        assert len(payload["points"]) == 4
+        from repro.obs.registry import RunRegistry
+        records = RunRegistry(runs).records("crashsim")
+        assert len(records) == 1
+        assert records[0].metrics["crashsim.failed"] == 0.0

@@ -132,3 +132,118 @@ class TestRegistryHardening:
         path = registry.save(record)
         assert os.path.basename(path) in os.listdir(tmp_path)
         assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
+
+
+class TestDoubleTornRecovery:
+    def test_torn_snapshot_and_torn_journal_together(self, tmp_path, capsys):
+        # Both recovery sources damaged in the same sweep dir: the
+        # snapshot torn mid-rewrite, the journal torn mid-append.
+        # load() must still reconstruct every intact cell.
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0",
+                                     snapshot_every=2)
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=4)
+        for i in range(4):
+            checkpoint.record(result_for(f"c{i}", value=float(i)))
+        checkpoint.close()
+
+        body = open(checkpoint.snapshot_path).read()
+        open(checkpoint.snapshot_path, "w").write(body[: len(body) // 3])
+        with open(checkpoint.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "c4", "status": "o')  # torn append
+
+        loaded = SweepCheckpoint(str(tmp_path), "s-h-s0").load()
+        assert sorted(loaded) == ["c0", "c1", "c2", "c3"]
+        assert loaded["c3"].metrics["value"] == 3.0
+        # The torn snapshot is quarantined as evidence, not deleted.
+        assert os.path.exists(checkpoint.snapshot_path + ".corrupt")
+        capsys.readouterr()
+
+    def test_resume_appends_cleanly_after_torn_tail(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=3)
+        checkpoint.record(result_for("c0"))
+        checkpoint.close()
+        with open(checkpoint.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "c1", "st')  # crash mid-append
+
+        resumed = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        assert sorted(resumed.load()) == ["c0"]
+        resumed.record(result_for("c2"))  # JournalWriter isolates the tear
+        resumed.close()
+        assert sorted(SweepCheckpoint(str(tmp_path), "s-h-s0").load()) == [
+            "c0", "c2"
+        ]
+
+
+class TestSweepLock:
+    def lock_at(self, tmp_path):
+        from repro.exec import SweepLock
+        return SweepLock(str(tmp_path / "sweeps" / "s" / "sweep.lock"))
+
+    def test_acquire_writes_pid_release_removes(self, tmp_path):
+        lock = self.lock_at(tmp_path)
+        lock.acquire()
+        body = json.load(open(lock.path))
+        assert body["pid"] == os.getpid()
+        lock.release()
+        assert not os.path.exists(lock.path)
+
+    def test_own_pid_lock_is_broken(self, tmp_path):
+        # A previous in-process owner crashed without releasing (the
+        # simulated-crash path): a process cannot race itself.
+        first = self.lock_at(tmp_path)
+        first.acquire()  # left held deliberately
+        second = self.lock_at(tmp_path)
+        second.acquire()
+        second.release()
+
+    def test_dead_pid_lock_is_broken(self, tmp_path):
+        lock = self.lock_at(tmp_path)
+        os.makedirs(os.path.dirname(lock.path))
+        json.dump({"pid": 2 ** 22 + 4321}, open(lock.path, "w"))
+        lock.acquire()
+        assert json.load(open(lock.path))["pid"] == os.getpid()
+        lock.release()
+
+    def test_torn_lock_body_is_broken(self, tmp_path):
+        lock = self.lock_at(tmp_path)
+        os.makedirs(os.path.dirname(lock.path))
+        open(lock.path, "w").write('{"pi')  # torn by a crash
+        lock.acquire()
+        lock.release()
+
+    def test_live_foreign_pid_refused(self, tmp_path):
+        from repro.errors import SweepLockError
+        lock = self.lock_at(tmp_path)
+        os.makedirs(os.path.dirname(lock.path))
+        json.dump({"pid": 1}, open(lock.path, "w"))  # init is always alive
+        with pytest.raises(SweepLockError):
+            lock.acquire()
+        assert json.load(open(lock.path))["pid"] == 1  # left untouched
+
+    def test_two_resumes_cannot_interleave(self, tmp_path):
+        # Executor-level guarantee: a checkpoint whose lock is held by
+        # a live foreign process refuses to run rather than interleave
+        # journal appends with the other resume.
+        from repro.errors import SweepLockError
+        from repro.exec import SweepExecutor
+        from tests.test_exec_supervisor import make_cells
+
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=1)
+        json.dump({"pid": 1}, open(checkpoint.lock.path, "w"))
+        cells = make_cells("ok_cell", count=1)
+        with pytest.raises(SweepLockError):
+            SweepExecutor(jobs=1).run(cells, checkpoint=checkpoint)
+        # The journal was never opened, let alone appended to.
+        assert not os.path.exists(checkpoint.journal_path)
+
+    def test_lock_released_even_when_run_fails(self, tmp_path):
+        from repro.exec import SweepExecutor
+        from tests.test_exec_supervisor import make_cells
+
+        checkpoint = SweepCheckpoint(str(tmp_path), "s-h-s0")
+        checkpoint.initialise(config_hash="h", seed=0, config={}, n_cells=1)
+        cells = make_cells("ok_cell", count=1)
+        SweepExecutor(jobs=1).run(cells, checkpoint=checkpoint)
+        assert not os.path.exists(checkpoint.lock.path)

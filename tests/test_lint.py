@@ -490,3 +490,81 @@ class TestLintDrivenFixes:
         assert (
             first.meter.kernel_mix().total == second.meter.kernel_mix().total
         )
+
+
+class TestSwallowedIORule:
+    MODULE = "repro.fsio"  # inside the durable-write tier
+
+    def test_err002_swallowed_oserror(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def write(path):
+                try:
+                    open(path, "w").write("x")
+                except OSError:
+                    pass
+        """, module=self.MODULE)
+        assert "ERR002" in rule_ids(findings)
+
+    def test_err002_broad_tuple_member(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def write(path):
+                try:
+                    open(path, "w").write("x")
+                except (ValueError, Exception):
+                    return None
+        """, module=self.MODULE)
+        assert "ERR002" in rule_ids(findings)
+
+    def test_err002_clean_when_reraised(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def write(path):
+                try:
+                    open(path, "w").write("x")
+                except OSError:
+                    raise
+        """, module=self.MODULE)
+        assert "ERR002" not in rule_ids(findings)
+
+    def test_err002_clean_when_error_is_used(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            import sys
+
+            def write(path):
+                try:
+                    open(path, "w").write("x")
+                except OSError as error:
+                    sys.stderr.write(str(error))
+        """, module=self.MODULE)
+        assert "ERR002" not in rule_ids(findings)
+
+    def test_err002_narrow_exception_is_fine(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def remove(path):
+                import os
+                try:
+                    os.remove(path)
+                except FileNotFoundError:
+                    pass
+        """, module=self.MODULE)
+        assert "ERR002" not in rule_ids(findings)
+
+    def test_err002_scoped_to_durable_modules(self, tmp_path):
+        findings, _ = lint_source(tmp_path, """
+            def write(path):
+                try:
+                    open(path, "w").write("x")
+                except OSError:
+                    pass
+        """, module="repro.analysis.sensitivity")
+        assert "ERR002" not in rule_ids(findings)
+
+    def test_err002_suppressed_by_allow_comment(self, tmp_path):
+        findings, suppressed = lint_source(tmp_path, """
+            def probe(path):
+                try:
+                    return open(path).read()
+                except OSError:  # repro: allow[ERR002] — read-path probe
+                    return None
+        """, module=self.MODULE)
+        assert "ERR002" not in rule_ids(findings)
+        assert suppressed >= 1

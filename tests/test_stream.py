@@ -164,3 +164,34 @@ class TestOpenMetrics:
         text = render_openmetrics(str(tmp_path / "empty"))
         assert text.endswith("# EOF\n")
         assert "repro_registry_records" in text  # framing always present
+
+
+class TestStreamTelemetry:
+    def test_healthy_stream_counts_writes_no_drops(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        stream = ProgressStream(path, sweep="s")
+        stream.emit({"event": "sweep-started", "total": 1})
+        stream.emit({"event": "cell-finished", "done": 1, "total": 1})
+        stream.close()
+        telemetry = stream.telemetry()
+        assert telemetry["stream_writes"] == 2.0
+        assert telemetry["stream_writer_errors"] == 0.0
+        assert telemetry["stream_dropped_events"] == 0.0
+
+    def test_dead_sink_counts_drops_and_warns_once(self, tmp_path, capsys):
+        # The stream path is a directory: every append fails.  The
+        # sweep must not fail, but every dropped event is counted and
+        # the first failure warns on stderr exactly once.
+        target = tmp_path / "progress.jsonl"
+        target.mkdir()
+        stream = ProgressStream(str(target), sweep="s")
+        for i in range(3):
+            stream.emit({"event": "cell-finished", "done": i, "total": 3})
+        stream.close()
+        telemetry = stream.telemetry()
+        assert telemetry["stream_writer_errors"] == 1.0
+        assert telemetry["stream_dropped_events"] == 3.0
+        assert capsys.readouterr().err.count("can no longer write") == 1
+
+    def test_pathless_stream_has_no_telemetry(self):
+        assert ProgressStream(None).telemetry() == {}

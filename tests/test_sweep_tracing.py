@@ -186,3 +186,46 @@ class TestChromeExport:
     def test_merge_into_missing_dir_raises(self, tmp_path):
         with pytest.raises(TraceMergeError):
             merge_sweep_trace(str(tmp_path / "absent"), str(tmp_path / "t"))
+
+
+class TestTraceTelemetry:
+    def test_span_writer_counts_writes(self, tmp_path):
+        writer = SpanWriter(str(tmp_path / "t" / "w.spans.jsonl"))
+        writer.span("lane", "cell", "exec", 0.0, 1.0)
+        writer.instant("lane", "mark", "exec", 0.5)
+        writer.close()
+        telemetry = writer.telemetry()
+        assert telemetry["trace_writes"] == 2.0
+        assert telemetry["trace_writer_errors"] == 0.0
+
+    def test_dead_sink_counts_drops_and_warns_once(self, tmp_path, capsys):
+        target = tmp_path / "w.spans.jsonl"
+        target.mkdir()
+        writer = SpanWriter(str(target))
+        writer.span("lane", "a", "exec", 0.0, 1.0)
+        writer.span("lane", "b", "exec", 1.0, 2.0)
+        writer.close()
+        telemetry = writer.telemetry()
+        assert telemetry["trace_writer_errors"] == 1.0
+        assert telemetry["trace_dropped_events"] == 2.0
+        assert capsys.readouterr().err.count("can no longer write") == 1
+
+    def test_tracer_telemetry_passes_through(self, tmp_path):
+        tracer = SweepTracer(str(tmp_path / "trace"))
+        tracer.span("merge", "exec", 0.0, 1.0)
+        tracer.close()
+        assert tracer.telemetry()["trace_writes"] == 1.0
+
+
+class TestMergeDurability:
+    def test_merge_leaves_no_tmp_litter(self, tmp_path):
+        cells = make_cells("ok_cell", count=2)
+        trace_dir = str(tmp_path / "trace")
+        tracer = SweepTracer(trace_dir)
+        fast_executor(2, tracer=tracer).run(cells)
+        tracer.close()
+        out = str(tmp_path / "trace.json")
+        merge_sweep_trace(trace_dir, out)
+        assert json.load(open(out))["traceEvents"]
+        litter = [n for n in os.listdir(tmp_path) if ".tmp." in n]
+        assert litter == []
