@@ -16,7 +16,8 @@ from conftest import run_once
 
 from repro.exec import SweepTracer, merge_sweep_trace
 from repro.experiments import ExperimentContext, fig4_cache
-from repro.obs import ProgressStream
+from repro.obs import ProgressStream, RunRegistry
+from repro.obs.perf import obs_overhead_record
 from repro.workloads import MPI_WORKLOADS, REPRESENTATIVE_WORKLOADS
 
 #: Smaller than BENCH_SCALE: this bench runs the experiment twice.
@@ -61,6 +62,19 @@ def test_tracing_overhead_and_bit_identity(benchmark, tmp_path):
         return result
 
     traced = run_once(benchmark, traced_fig4, extra_timings=extras)
+
+    # Persist the ratio through the schema-versioned bench-record path
+    # too (experiment ``bench.obs-overhead``), so the observatory's
+    # bench page charts the overhead trajectory alongside the harness
+    # targets.
+    RunRegistry().save(
+        obs_overhead_record(
+            untraced_s=untraced_s,
+            traced_s=extras["bench.traced_s"],
+            scale=OVERHEAD_SCALE,
+            seed=0,
+        )
+    )
 
     print()
     print(

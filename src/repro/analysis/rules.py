@@ -234,6 +234,7 @@ class WallClockRule(Rule):
         "repro.obs.metrics",
         "repro.obs.hostprof",
         "repro.obs.stream",
+        "repro.obs.perf",
         "repro.exec.supervisor",
         "repro.exec.pool",
         "repro.exec.tracing",

@@ -19,6 +19,9 @@ Commands map one-to-one onto the paper's experiments:
     python -m repro diff <run-a> <run-b>     # per-metric drift, CI gate
     python -m repro history fig3             # metric trajectory, sparklines
     python -m repro lint [--dynamic]         # determinism sanitizer
+    python -m repro dash [--out DIR]         # static HTML observatory
+    python -m repro bench fig4 --reps 5      # noise-aware wall-clock bench
+    python -m repro perfdiff                 # CI perf gate vs budgets
 
 Every metric-producing command also writes a versioned run record into
 the registry directory (``.repro-runs/`` by default; override with
@@ -902,6 +905,127 @@ def _cmd_fsck(args) -> int:
     return 0 if exit_clean else 1
 
 
+def _cmd_dash(args) -> int:
+    """Render the static HTML observatory from the runs directory.
+
+    Strictly read-only over ``--runs-dir`` (corrupt artifacts are
+    reported on the health page, never touched) and byte-deterministic
+    for a fixed directory state, so the output is diffable and
+    cacheable.  No run record is written: the dash *reads* the
+    registry, it is not an experiment.
+    """
+    from repro.obs.dashboard import render_site
+    from repro.obs.observatory import build_model
+
+    model = build_model(args.runs_dir)
+    paths = render_site(model, args.out)
+    summary = {
+        "out": args.out,
+        "pages": [os.path.basename(p) for p in paths],
+        "records": len(model.records),
+        "experiments": len(model.experiments()),
+        "sweeps": len(model.sweeps),
+        "skipped_artifacts": len(model.skipped),
+        "health_errors": len(model.error_findings),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"observatory: {len(model.records)} record(s), "
+        f"{len(model.experiments())} experiment(s), "
+        f"{len(model.sweeps)} sweep(s) from {args.runs_dir}"
+    )
+    if model.skipped:
+        print(
+            f"  {len(model.skipped)} damaged/foreign artifact(s) skipped "
+            "(see health.html)"
+        )
+    for path in paths:
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    """Noise-aware wall-clock benchmark of one named target."""
+    from repro.obs.perf import bench_targets, run_bench
+
+    if args.list:
+        targets = bench_targets()
+        width = max(len(name) for name in targets)
+        for name in sorted(targets):
+            target = targets[name]
+            print(f"{name:<{width}s}  [{target.kind}] {target.description}")
+        return 0
+    if not args.target:
+        print("bench: name a target (or use --list)", file=sys.stderr)
+        return 2
+    targets = bench_targets()
+    if args.target not in targets:
+        from repro.errors import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"unknown bench target {args.target!r} "
+            f"(known: {', '.join(sorted(targets))})"
+        )
+    result = run_bench(
+        targets[args.target],
+        reps=args.reps,
+        warmup=args.warmup,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    record = result.to_record()
+    if args.json:
+        _save_record(args, record, quiet=True)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+    # Save before printing: a closed stdout (| head) must not cost the
+    # measurement.
+    path = _save_record(args, record, quiet=True)
+    print(result.render())
+    if path:
+        print(f"\nrecorded {record.run_id} -> {path}")
+    return 0
+
+
+def _cmd_perfdiff(args) -> int:
+    """Gate the latest bench records against the committed budgets."""
+    from repro.obs.perf import load_budgets, perfdiff, update_budgets
+
+    registry = _registry(args)
+    targets = (
+        [t for t in args.targets.split(",") if t.strip()]
+        if args.targets else None
+    )
+    if args.update_budgets:
+        manifest = update_budgets(registry, args.budgets, targets=targets)
+        print(
+            f"budget manifest {args.budgets} updated: "
+            f"{len(manifest['budgets'])} target(s)"
+        )
+        return 0
+    manifest = load_budgets(args.budgets)
+    result = perfdiff(
+        registry, manifest, budgets_path=args.budgets, targets=targets
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+    if args.warn_only and result.exit_code != 0:
+        # CI annotation format; the gate reports but does not fail
+        # until enough baselines exist to trust the intervals.
+        for verdict in result.regressions:
+            print(
+                f"::warning title=perf regression ({verdict.target})::"
+                f"{verdict.detail}"
+            )
+        print("perfdiff: regressions found, but --warn-only is set (exit 0)")
+        return 0
+    return result.exit_code
+
+
 def _cmd_crashsim(args) -> int:
     """Run the crash-consistency campaign over a scratch sweep."""
     import shutil
@@ -1293,6 +1417,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit typed findings as JSON instead of a report",
     )
 
+    dash_parser = commands.add_parser(
+        "dash",
+        help="render the static HTML observatory (scorecard, history, "
+             "sweep timelines, hot functions, bench trends, health) "
+             "from the runs directory",
+    )
+    dash_parser.add_argument(
+        "--out", default="observatory", metavar="DIR",
+        help="output directory for the site (default observatory/)",
+    )
+    dash_parser.add_argument(
+        "--json", action="store_true",
+        help="emit a render summary as JSON instead of the page list",
+    )
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="noise-aware wall-clock benchmark of one target "
+             "(experiment regen or repro.uarch kernel); records a "
+             "kind=bench run record with median/MAD/bootstrap-CI",
+    )
+    bench_parser.add_argument(
+        "target", nargs="?", default=None,
+        help="target name, e.g. fig4 or uarch.cache-walk (see --list)",
+    )
+    bench_parser.add_argument(
+        "--reps", type=int, default=5, metavar="N",
+        help="measured repetitions (default 5)",
+    )
+    bench_parser.add_argument(
+        "--warmup", type=int, default=1, metavar="K",
+        help="discarded warmup repetitions (default 1)",
+    )
+    bench_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload/characterization seed (default 0)",
+    )
+    bench_parser.add_argument(
+        "--list", action="store_true",
+        help="list the bench targets and exit",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the registry run-record schema instead of the report",
+    )
+
+    perfdiff_parser = commands.add_parser(
+        "perfdiff",
+        help="compare the latest kind=bench records against the "
+             "committed perf budgets; exits 1 only when a candidate's "
+             "confidence interval separates above its budget's",
+    )
+    perfdiff_parser.add_argument(
+        "--budgets", default=os.path.join(
+            "benchmarks", "baselines", "perf_budgets.json"
+        ), metavar="FILE",
+        help="budget manifest (default benchmarks/baselines/"
+             "perf_budgets.json)",
+    )
+    perfdiff_parser.add_argument(
+        "--targets", default=None, metavar="A,B,...",
+        help="restrict the gate to these targets (default: every "
+             "budgeted target)",
+    )
+    perfdiff_parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions as CI warning annotations but exit 0",
+    )
+    perfdiff_parser.add_argument(
+        "--update-budgets", action="store_true",
+        help="rewrite the manifest from the latest bench records "
+             "(preserves hot_functions/note annotations)",
+    )
+    perfdiff_parser.add_argument("--json", action="store_true")
+
     crashsim_parser = commands.add_parser(
         "crashsim",
         help="crash-consistency campaign: crash/errno/fsync-lie faults "
@@ -1358,6 +1557,9 @@ _HANDLERS = {
     "history": _cmd_history,
     "lint": _cmd_lint,
     "fsck": _cmd_fsck,
+    "dash": _cmd_dash,
+    "bench": _cmd_bench,
+    "perfdiff": _cmd_perfdiff,
     "crashsim": _cmd_crashsim,
 }
 
@@ -1388,6 +1590,14 @@ def _validate_args(args) -> None:
     top = getattr(args, "top", None)
     if top is not None and top < 1:
         raise InvalidParameterError(f"--top must be >= 1, got {top!r}")
+    reps = getattr(args, "reps", None)
+    if reps is not None and reps < 1:
+        raise InvalidParameterError(f"--reps must be >= 1, got {reps!r}")
+    warmup = getattr(args, "warmup", None)
+    if warmup is not None and warmup < 0:
+        raise InvalidParameterError(
+            f"--warmup must be >= 0, got {warmup!r}"
+        )
 
 
 def main(argv=None) -> int:

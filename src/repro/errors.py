@@ -153,6 +153,17 @@ class ProfilerError(SimulationError):
     """The host-side hot-path profiler could not complete."""
 
 
+class PerfError(SimulationError):
+    """The wall-clock bench harness could not produce a trustworthy
+    sample: an unknown target, invalid rep counts, or a target whose
+    deterministic payload differed between reps (timing a
+    nondeterministic function measures nothing)."""
+
+
+class BudgetManifestError(UsageError):
+    """A perf-budget manifest is missing, unreadable or malformed."""
+
+
 class LintError(SimulationError):
     """The determinism sanitizer could not complete its analysis."""
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TraceMergeError
@@ -52,9 +53,12 @@ __all__ = [
     "SPAN_FILE_SUFFIX",
     "SpanWriter",
     "SweepTracer",
+    "TimelineLane",
+    "TimelineSpan",
     "worker_lane",
     "worker_span_path",
     "read_span_records",
+    "spans_to_timeline",
     "merge_sweep_trace",
 ]
 
@@ -196,6 +200,91 @@ def read_span_records(trace_dir: str) -> List[Dict]:
                 "unreadable span file", path=path, error=str(exc)
             ) from exc
     return records
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    """One closed span, rebased to the sweep's earliest timestamp."""
+
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.t1 - self.t0)
+
+
+@dataclass
+class TimelineLane:
+    """One process's spans, ordered by start time."""
+
+    lane: str
+    spans: List[TimelineSpan] = field(default_factory=list)
+    instants: List[TimelineSpan] = field(default_factory=list)
+
+    @property
+    def is_supervisor(self) -> bool:
+        return self.lane.startswith("supervisor")
+
+
+def spans_to_timeline(records: List[Dict]) -> List[TimelineLane]:
+    """Group raw span records into per-lane timelines for rendering.
+
+    The adapter between the JSONL span files and any human-facing
+    lane view (the observatory's sweep page; a future ``repro serve``).
+    Timestamps are rebased so the earliest event of the sweep is
+    ``t=0`` — the absolute epoch values are wall-clock and must never
+    reach a deterministic rendering.  Lanes come supervisor-first, then
+    workers sorted by name; spans within a lane sort by
+    ``(t0, t1, name)``.  Malformed records are skipped, mirroring the
+    torn-tail tolerance of :func:`read_span_records`.
+    """
+
+    base: Optional[float] = None
+    for record in records:
+        t0 = record.get("t0") if record.get("kind") == "span" else record.get("t")
+        if isinstance(t0, (int, float)):
+            base = t0 if base is None else min(base, t0)
+    lanes: Dict[str, TimelineLane] = {}
+    for record in records:
+        lane_name = record.get("lane")
+        if not isinstance(lane_name, str) or not lane_name:
+            continue
+        lane = lanes.setdefault(lane_name, TimelineLane(lane=lane_name))
+        args = record.get("args")
+        args = dict(args) if isinstance(args, dict) else {}
+        if record.get("kind") == "span":
+            t0, t1 = record.get("t0"), record.get("t1")
+            if not isinstance(t0, (int, float)) or not isinstance(t1, (int, float)):
+                continue
+            lane.spans.append(TimelineSpan(
+                name=str(record.get("name", "")),
+                cat=str(record.get("cat", "")),
+                t0=t0 - (base or 0.0),
+                t1=t1 - (base or 0.0),
+                args=args,
+            ))
+        elif record.get("kind") == "instant":
+            t = record.get("t")
+            if not isinstance(t, (int, float)):
+                continue
+            stamp = t - (base or 0.0)
+            lane.instants.append(TimelineSpan(
+                name=str(record.get("name", "")),
+                cat=str(record.get("cat", "")),
+                t0=stamp,
+                t1=stamp,
+                args=args,
+            ))
+    for lane in lanes.values():
+        lane.spans.sort(key=lambda s: (s.t0, s.t1, s.name))
+        lane.instants.sort(key=lambda s: (s.t0, s.name))
+    return sorted(
+        lanes.values(), key=lambda lane: (not lane.is_supervisor, lane.lane)
+    )
 
 
 def merge_sweep_trace(trace_dir: str, out_path: str,

@@ -21,11 +21,35 @@ from repro.obs.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.dashboard import render_history_page, render_site
 from repro.obs.hostprof import (
     HostProfile,
     HotFunction,
     module_of,
     profile_call,
+)
+from repro.obs.observatory import (
+    ObservatoryModel,
+    SkippedArtifact,
+    SweepView,
+    build_model,
+)
+from repro.obs.perf import (
+    BenchResult,
+    BenchTarget,
+    PerfDiff,
+    bench_targets,
+    load_budgets,
+    perfdiff,
+    run_bench,
+)
+from repro.obs.stats import (
+    RobustStats,
+    bootstrap_ci_median,
+    intervals_separated,
+    mad,
+    median,
+    robust_summary,
 )
 from repro.obs.metrics import (
     ClusterTelemetry,
@@ -75,6 +99,8 @@ __all__ = [
     "SPAN_CATEGORIES",
     "Anchor",
     "AnchorCheck",
+    "BenchResult",
+    "BenchTarget",
     "ClusterTelemetry",
     "Counter",
     "CounterRegistry",
@@ -85,30 +111,47 @@ __all__ = [
     "HotFunction",
     "InstantEvent",
     "NodeSample",
+    "ObservatoryModel",
+    "PerfDiff",
     "PhaseProfiler",
     "ProgressStream",
+    "RobustStats",
     "RunRecord",
     "RunRegistry",
     "Scorecard",
+    "SkippedArtifact",
     "Span",
+    "SweepView",
     "TerminalRenderer",
     "TimelineTotals",
     "Tracer",
     "UtilizationTimeline",
     "anchored_experiments",
     "anchors_for",
+    "bench_targets",
+    "bootstrap_ci_median",
+    "build_model",
     "build_provenance",
     "diff_records",
     "evaluate_record",
     "flatten_rows",
     "history",
+    "intervals_separated",
+    "load_budgets",
+    "mad",
+    "median",
     "module_of",
+    "perfdiff",
     "phase",
     "profile_call",
     "profiler",
     "read_progress",
+    "render_history_page",
     "render_openmetrics",
+    "render_site",
     "render_trace_summary",
+    "robust_summary",
+    "run_bench",
     "runs_dir_default",
     "scorecard",
     "set_profiler",

@@ -1,0 +1,277 @@
+"""The observatory: a read-only aggregate view over one runs directory.
+
+Everything the substrate emits — registry records, sweep checkpoints,
+``progress.jsonl`` streams, per-worker span files, ``kind="profile"``
+host profiles, ``kind="bench"`` wall-clock records, fsck findings —
+lands under ``.repro-runs/``, each with its own reader.  This module
+indexes all of it into one queryable :class:`ObservatoryModel` that the
+static-site renderer (:mod:`repro.obs.dashboard`) and a future
+``repro serve`` consume.
+
+Two hard rules, both enforced by the golden determinism test:
+
+- **Strictly read-only.**  The registry's normal :meth:`records` path
+  quarantines corrupt files (a rename) and ``SweepCheckpoint.load``
+  does the same to corrupt snapshots.  The observatory must render the
+  same directory twice and find it byte-identical both times, so it
+  uses :meth:`RunRegistry.scan` with ``quarantine=False`` and its own
+  tolerant checkpoint readers, and only ever *reports* damage.
+- **No clock, no filesystem-order dependence.**  Nothing here reads
+  wall-clock (the module is deliberately absent from the DET003
+  quarantine list); every listing is sorted and every artifact that
+  fails to parse becomes a :class:`SkippedArtifact` in the health
+  model instead of an exception or a silent hole.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exec.tracing import SPAN_FILE_SUFFIX, TimelineLane, spans_to_timeline
+from repro.obs.registry import RunRecord, RunRegistry
+from repro.obs.stream import read_progress
+
+__all__ = [
+    "ObservatoryModel",
+    "SkippedArtifact",
+    "SweepView",
+    "build_model",
+]
+
+
+@dataclass(frozen=True)
+class SkippedArtifact:
+    """One artifact the aggregator could not use, and why.
+
+    Surfaced on the health panel: a skipped artifact is never silent —
+    "we indexed everything" must be falsifiable.
+    """
+
+    path: str
+    reason: str
+
+
+@dataclass
+class SweepView:
+    """Everything known about one sweep directory, read tolerantly."""
+
+    sweep: str
+    path: str
+    manifest: Dict[str, object] = field(default_factory=dict)
+    n_cells: int = 0
+    done: int = 0
+    quarantined: int = 0
+    #: Journal lines that failed to parse (torn tails, corruption).
+    torn_journal_lines: int = 0
+    events: List[Dict] = field(default_factory=list)
+    lanes: List[TimelineLane] = field(default_factory=list)
+    has_merged_trace: bool = False
+
+    @property
+    def finished(self) -> bool:
+        return any(e.get("event") == "sweep-finished" for e in self.events)
+
+    @property
+    def last_throughput(self) -> Optional[float]:
+        for event in reversed(self.events):
+            if event.get("event") == "cell-finished" \
+                    and event.get("cells_per_s") is not None:
+                return float(event["cells_per_s"])
+        return None
+
+    @property
+    def retries(self) -> int:
+        return sum(
+            1 for e in self.events if e.get("event") == "cell-retried"
+        )
+
+
+@dataclass
+class ObservatoryModel:
+    """The aggregate: records + sweeps + damage, ready to render."""
+
+    root: str
+    records: List[RunRecord] = field(default_factory=list)
+    sweeps: List[SweepView] = field(default_factory=list)
+    skipped: List[SkippedArtifact] = field(default_factory=list)
+    #: fsck findings as plain dicts (kind/severity/path/detail), sorted.
+    findings: List[Dict[str, object]] = field(default_factory=list)
+
+    def experiments(self) -> List[str]:
+        return sorted({record.experiment for record in self.records})
+
+    def by_experiment(self, experiment: str) -> List[RunRecord]:
+        return [r for r in self.records if r.experiment == experiment]
+
+    def latest(self, experiment: str) -> Optional[RunRecord]:
+        records = self.by_experiment(experiment)
+        return records[-1] if records else None
+
+    def of_kind(self, kind: str) -> List[RunRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    @property
+    def error_findings(self) -> List[Dict[str, object]]:
+        return [f for f in self.findings if f.get("severity") == "error"]
+
+
+def _read_json(path: str):
+    """Parse one JSON file; ``(payload, error)`` with exactly one set."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle), None
+    except OSError as exc:  # repro: allow[ERR002] — read-only aggregation; damage becomes a health finding
+        return None, f"unreadable: {exc}"
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        return None, f"corrupt JSON: {exc}"
+
+
+def _read_journal(path: str):
+    """Count cell statuses in a journal, tolerating damaged lines."""
+    statuses: Dict[str, str] = {}
+    torn = 0
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError:  # repro: allow[ERR002] — a missing journal is an empty sweep, not a crash
+        return statuses, torn
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                torn += 1
+                continue
+            if isinstance(entry, dict) and "cell_id" in entry:
+                statuses[str(entry["cell_id"])] = str(
+                    entry.get("status", "")
+                )
+            else:
+                torn += 1
+    return statuses, torn
+
+
+def _read_spans(trace_dir: str, skipped: List[SkippedArtifact]):
+    """Read-only span collection mirroring ``read_span_records``.
+
+    The exec-layer reader raises on unreadable files (a merge must not
+    silently lose a lane); the observatory instead records the loss and
+    renders what it can.
+    """
+    records: List[Dict] = []
+    if not os.path.isdir(trace_dir):
+        return records
+    for fname in sorted(os.listdir(trace_dir)):
+        if not fname.endswith(SPAN_FILE_SUFFIX):
+            continue
+        path = os.path.join(trace_dir, fname)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:  # repro: allow[ERR002] — surfaced as a skipped artifact below
+            skipped.append(SkippedArtifact(path, f"unreadable span file: {exc}"))
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed process
+            if isinstance(record, dict) and record.get("kind") in (
+                "span", "instant"
+            ):
+                records.append(record)
+    return records
+
+
+def _build_sweep_view(
+    sweeps_root: str, name: str, skipped: List[SkippedArtifact]
+) -> SweepView:
+    sweep_dir = os.path.join(sweeps_root, name)
+    view = SweepView(sweep=name, path=sweep_dir)
+
+    manifest_path = os.path.join(sweep_dir, "manifest.json")
+    if os.path.isfile(manifest_path):
+        manifest, error = _read_json(manifest_path)
+        if error is not None:
+            skipped.append(SkippedArtifact(manifest_path, error))
+        elif isinstance(manifest, dict):
+            view.manifest = manifest
+            view.n_cells = int(manifest.get("n_cells", 0) or 0)
+    else:
+        skipped.append(SkippedArtifact(
+            os.path.join(sweep_dir, "manifest.json"), "missing manifest"
+        ))
+
+    # Snapshot first, journal entries on top — same precedence as the
+    # checkpoint loader, but nothing is quarantined on damage here.
+    statuses: Dict[str, str] = {}
+    snapshot_path = os.path.join(sweep_dir, "snapshot.json")
+    if os.path.isfile(snapshot_path):
+        snapshot, error = _read_json(snapshot_path)
+        if error is not None:
+            skipped.append(SkippedArtifact(snapshot_path, error))
+        elif isinstance(snapshot, dict):
+            for cell_id, data in snapshot.get("cells", {}).items():
+                if isinstance(data, dict):
+                    statuses[str(cell_id)] = str(data.get("status", ""))
+    journal_statuses, torn = _read_journal(
+        os.path.join(sweep_dir, "journal.jsonl")
+    )
+    statuses.update(journal_statuses)
+    view.torn_journal_lines = torn
+    view.done = sum(1 for s in statuses.values() if s == "ok")
+    view.quarantined = sum(
+        1 for s in statuses.values() if s == "quarantined"
+    )
+
+    view.events = read_progress(os.path.join(sweep_dir, "progress.jsonl"))
+    view.lanes = spans_to_timeline(
+        _read_spans(os.path.join(sweep_dir, "trace"), skipped)
+    )
+    view.has_merged_trace = os.path.isfile(
+        os.path.join(sweep_dir, "trace.json")
+    )
+    return view
+
+
+def build_model(runs_dir: str, *, fsck: bool = True) -> ObservatoryModel:
+    """Aggregate one runs directory into an :class:`ObservatoryModel`.
+
+    A missing directory yields an empty model (rendering an empty
+    observatory is a legitimate request); a damaged one yields a model
+    whose health panel says exactly what was skipped.
+    """
+    model = ObservatoryModel(root=runs_dir)
+
+    registry = RunRegistry(runs_dir)
+    records, problems = registry.scan(quarantine=False)
+    model.records = records
+    for path, reason in problems:
+        model.skipped.append(SkippedArtifact(path, reason))
+
+    sweeps_root = os.path.join(runs_dir, "sweeps")
+    if os.path.isdir(sweeps_root):
+        for name in sorted(os.listdir(sweeps_root)):
+            if not os.path.isdir(os.path.join(sweeps_root, name)):
+                continue
+            model.sweeps.append(
+                _build_sweep_view(sweeps_root, name, model.skipped)
+            )
+
+    if fsck and os.path.isdir(runs_dir):
+        from repro.obs.fsck import fsck_scan
+
+        result = fsck_scan(runs_dir)
+        model.findings = sorted(
+            (f.to_dict() for f in result.findings),
+            key=lambda f: (str(f["path"]), str(f["kind"])),
+        )
+    return model

@@ -43,6 +43,7 @@ __all__ = [
     "fsync_dir",
     "atomic_write_json",
     "quarantine_corrupt",
+    "git_sha",
     "config_hash",
     "build_provenance",
     "flatten_rows",
@@ -73,6 +74,11 @@ def atomic_write_json(path: str, payload: object, *, io=None) -> None:
     dir fsync + tmp cleanup on failure) lives in :mod:`repro.fsio`.
     """
     write_json_atomic(path, payload, io=io)
+
+
+def git_sha() -> str:
+    """Public alias for the provenance git probe (``repro_build_info``)."""
+    return _git_sha()
 
 
 def _git_sha() -> str:
@@ -236,28 +242,47 @@ class RunRegistry:
         with open(path, "r", encoding="utf-8") as handle:
             return RunRecord.from_dict(json.load(handle))
 
-    def records(self, experiment: Optional[str] = None) -> List[RunRecord]:
-        """All records (optionally one experiment's), oldest first."""
+    def scan(self, *, quarantine: bool = False):
+        """One sweep over every record file: ``(records, problems)``.
+
+        ``problems`` is a list of ``(path, reason)`` pairs for files
+        that could not be read as current-schema records.  With
+        ``quarantine=True`` (what :meth:`records` uses) corrupt files
+        are renamed aside; with the default ``False`` the scan is
+        strictly read-only — the observatory renders the same runs
+        directory twice and must find it byte-identical both times.
+        """
+        loaded: List[RunRecord] = []
+        problems: List[tuple] = []
         if not os.path.isdir(self.root):
-            return []
-        loaded = []
+            return loaded, problems
         for name in sorted(os.listdir(self.root)):
             if not name.endswith(".json"):
                 continue
             path = os.path.join(self.root, name)
             try:
                 record = self.load_path(path)
-            except (json.JSONDecodeError, UnicodeDecodeError, OSError):  # repro: allow[ERR002] — corrupt record is quarantined, not lost
+            except (json.JSONDecodeError, UnicodeDecodeError, OSError):  # repro: allow[ERR002] — corrupt record is surfaced (and optionally quarantined), not lost
                 # Truncated or corrupt on disk (a crash mid-write under a
                 # pre-atomic writer): move it aside so report/history keep
                 # working, and keep the evidence for inspection.
-                quarantine_corrupt(path)
+                if quarantine:
+                    quarantine_corrupt(path)
+                problems.append((path, "corrupt or truncated record"))
                 continue
-            except (ValueError, KeyError):
-                continue  # foreign or future-schema file; not ours to read
-            if experiment is None or record.experiment == experiment:
-                loaded.append(record)
+            except (ValueError, KeyError) as error:
+                # Foreign or future-schema file; not ours to read.
+                problems.append((path, str(error)))
+                continue
+            loaded.append(record)
         loaded.sort(key=lambda r: (r.created_at, r.run_id))
+        return loaded, problems
+
+    def records(self, experiment: Optional[str] = None) -> List[RunRecord]:
+        """All records (optionally one experiment's), oldest first."""
+        loaded, _ = self.scan(quarantine=True)
+        if experiment is not None:
+            loaded = [r for r in loaded if r.experiment == experiment]
         return loaded
 
     def experiments(self) -> List[str]:

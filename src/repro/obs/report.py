@@ -369,39 +369,16 @@ class History:
         return "\n".join(lines)
 
     def to_html(self) -> str:
-        """A standalone HTML page with one inline SVG line per metric."""
-        sections = []
-        for name in sorted(self.series):
-            values = [v for v in self.series[name]]
-            points = [(i, v) for i, v in enumerate(values) if v is not None]
-            if not points:
-                continue
-            lo = min(v for _, v in points)
-            hi = max(v for _, v in points)
-            span = (hi - lo) or 1.0
-            w, h = 480, 60
-            step = w / max(1, len(values) - 1)
-            coords = " ".join(
-                f"{i * step:.1f},{h - (v - lo) / span * (h - 8) - 4:.1f}"
-                for i, v in points
-            )
-            sections.append(
-                f"<div class='m'><h3>{name}</h3>"
-                f"<svg width='{w}' height='{h}' viewBox='0 0 {w} {h}'>"
-                f"<polyline fill='none' stroke='#4060c0' stroke-width='1.5' "
-                f"points='{coords}'/></svg>"
-                f"<p>last {points[-1][1]:.6g} · min {lo:.6g} · max {hi:.6g}"
-                f" · {len(points)} runs</p></div>"
-            )
-        body = "\n".join(sections) or "<p>no numeric series recorded</p>"
-        return (
-            "<!doctype html><html><head><meta charset='utf-8'>"
-            f"<title>repro history — {self.experiment}</title>"
-            "<style>body{font-family:sans-serif;margin:2em}"
-            ".m{margin-bottom:1.2em}h3{margin:0 0 .2em;font-size:14px}"
-            "p{margin:.2em 0;color:#555;font-size:12px}</style></head><body>"
-            f"<h1>{self.experiment}</h1>{body}</body></html>"
-        )
+        """A standalone HTML page with one inline SVG line per metric.
+
+        Delegates to the observatory's renderer — one HTML code path
+        for the whole repo (:mod:`repro.obs.dashboard`).  Imported
+        lazily because the dashboard imports this module for the diff
+        thresholds and the :class:`History` type.
+        """
+        from repro.obs.dashboard import render_history_page
+
+        return render_history_page(self)
 
 
 def history(

@@ -1,0 +1,156 @@
+"""Robust statistics for noise-aware benchmarking.
+
+Wall-clock samples are hardware noise: a single slow rep (page cache
+miss, CPU migration, thermal throttle) can double a mean, so the perf
+gate never compares means or single runs.  Instead it summarises each
+sample set with the median (robust location), the MAD (robust spread)
+and a seeded bootstrap confidence interval over the median, and two
+sample sets only count as *different* when their intervals separate.
+
+Everything here is pure arithmetic over caller-supplied samples: no
+clock reads (the module is deliberately *not* on the DET003 quarantine
+list) and no unseeded randomness — the bootstrap uses
+``random.Random(seed)``, so identical samples always produce identical
+intervals, which is what makes ``repro perfdiff`` reproducible and the
+``kind="bench"`` record schema diff-stable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "BOOTSTRAP_RESAMPLES",
+    "BOOTSTRAP_SEED",
+    "RobustStats",
+    "bootstrap_ci_median",
+    "intervals_separated",
+    "mad",
+    "median",
+    "robust_summary",
+]
+
+#: Bootstrap resample count: enough for stable 95% percentile bounds
+#: over the small (5-30 rep) sample sets the bench harness produces.
+BOOTSTRAP_RESAMPLES = 2000
+
+#: Fixed bootstrap seed — the interval is a *statistic of the samples*,
+#: not a random variable, so every caller resamples identically.
+BOOTSTRAP_SEED = 20160405
+
+
+def median(values: List[float]) -> float:
+    """The sample median (mean of the middle pair for even n)."""
+    if not values:
+        raise ValueError("median of an empty sample")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: List[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if not values:
+        raise ValueError("mad of an empty sample")
+    middle = median(values) if center is None else center
+    return median([abs(v - middle) for v in values])
+
+
+def bootstrap_ci_median(
+    values: List[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the median.
+
+    Deterministic for fixed ``values``/``seed``: identical reruns of a
+    benchmark produce identical intervals, so the perf gate's
+    "intervals separate" predicate cannot flap on resampling noise.
+    """
+    if not values:
+        raise ValueError("bootstrap over an empty sample")
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    n = len(values)
+    if n == 1:
+        return float(values[0]), float(values[0])
+    rng = random.Random(seed)
+    medians = sorted(
+        median([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples)
+    )
+    tail = (1.0 - confidence) / 2.0
+    lo_index = int(tail * (resamples - 1))
+    hi_index = int((1.0 - tail) * (resamples - 1))
+    return medians[lo_index], medians[hi_index]
+
+
+def intervals_separated(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> bool:
+    """True when two ``(lo, hi)`` intervals do not overlap at all."""
+    (a_lo, a_hi), (b_lo, b_hi) = a, b
+    return a_lo > b_hi or b_lo > a_hi
+
+
+@dataclass(frozen=True)
+class RobustStats:
+    """One sample set summarised for the bench record and perf gate."""
+
+    n: int
+    median: float
+    mad: float
+    ci_lo: float
+    ci_hi: float
+    mean: float
+    min: float
+    max: float
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return (self.ci_lo, self.ci_hi)
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "median": self.median,
+            "mad": self.mad,
+            "ci_lo": self.ci_lo,
+            "ci_hi": self.ci_hi,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def robust_summary(
+    values: List[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = BOOTSTRAP_RESAMPLES,
+    seed: int = BOOTSTRAP_SEED,
+) -> RobustStats:
+    """Summarise one sample set into :class:`RobustStats`."""
+    if not values:
+        raise ValueError("summary of an empty sample")
+    middle = median(values)
+    lo, hi = bootstrap_ci_median(
+        values, confidence=confidence, resamples=resamples, seed=seed
+    )
+    return RobustStats(
+        n=len(values),
+        median=middle,
+        mad=mad(values, middle),
+        ci_lo=lo,
+        ci_hi=hi,
+        mean=sum(values) / len(values),
+        min=min(values),
+        max=max(values),
+    )

@@ -221,18 +221,41 @@ def render_openmetrics(runs_dir: Optional[str] = None) -> str:
     counts per (experiment, kind), the latest ``exec.*`` telemetry of
     every experiment that has any, and per-sweep checkpoint progress
     (total/done/quarantined cells plus the last streamed throughput
-    and ETA).  Ends with ``# EOF`` per the OpenMetrics framing.
+    and ETA).
+
+    OpenMetrics framing: every metric family gets ``# HELP`` and
+    ``# TYPE`` lines (emitted even when the family has no samples, so
+    scrapers learn the full schema from any scrape), a constant
+    ``repro_build_info`` gauge carries the record/progress schema
+    versions and git SHA, and the exposition terminates with ``# EOF``.
     """
 
     from repro.errors import CheckpointError
     from repro.exec.checkpoint import SweepCheckpoint
-    from repro.obs.registry import RunRegistry, runs_dir_default
+    from repro.obs.registry import (
+        SCHEMA_VERSION,
+        RunRegistry,
+        git_sha,
+        runs_dir_default,
+    )
 
     root = runs_dir if runs_dir is not None else runs_dir_default()
     registry = RunRegistry(root)
     records = registry.records()
 
     lines: List[str] = []
+    lines.append(
+        "# HELP repro_build_info Constant gauge carrying the record/"
+        "progress schema versions and build identity."
+    )
+    lines.append("# TYPE repro_build_info gauge")
+    lines.append(
+        "repro_build_info{"
+        f'record_schema="{SCHEMA_VERSION}",'
+        f'progress_schema="{PROGRESS_SCHEMA_VERSION}",'
+        f'git_sha="{_escape_label(git_sha())}"'
+        "} 1"
+    )
     lines.append(
         "# HELP repro_registry_records Run records in the registry."
     )
@@ -315,15 +338,15 @@ def render_openmetrics(runs_dir: Optional[str] = None) -> str:
                     f'repro_sweep_eta_seconds{{sweep="{label}"}} '
                     f'{last["eta_s"]}'
                 )
-    if throughput:
-        lines.append(
-            "# HELP repro_sweep_cells_per_second Last streamed throughput."
-        )
-        lines.append("# TYPE repro_sweep_cells_per_second gauge")
-        lines.extend(throughput)
-    if etas:
-        lines.append("# HELP repro_sweep_eta_seconds Last streamed ETA.")
-        lines.append("# TYPE repro_sweep_eta_seconds gauge")
-        lines.extend(etas)
+    # HELP/TYPE are part of the schema, not the data: emit them even
+    # when a family has no samples this scrape.
+    lines.append(
+        "# HELP repro_sweep_cells_per_second Last streamed throughput."
+    )
+    lines.append("# TYPE repro_sweep_cells_per_second gauge")
+    lines.extend(throughput)
+    lines.append("# HELP repro_sweep_eta_seconds Last streamed ETA.")
+    lines.append("# TYPE repro_sweep_eta_seconds gauge")
+    lines.extend(etas)
     lines.append("# EOF")
     return "\n".join(lines) + "\n"

@@ -122,6 +122,7 @@ class TestRuleFixtures:
         for module in (
             "repro.obs.hostprof",
             "repro.obs.stream",
+            "repro.obs.perf",
             "repro.exec.tracing",
         ):
             findings, _ = lint_source(tmp_path, """
@@ -131,6 +132,23 @@ class TestRuleFixtures:
                     return time.time()
             """, module=module)
             assert findings == [], module
+
+    def test_det003_observatory_render_path_stays_clock_free(self, tmp_path):
+        # Only the bench harness (repro.obs.perf) may read the clock;
+        # the aggregation and rendering layers must stay deterministic,
+        # so DET003 still fires there.
+        for module in (
+            "repro.obs.observatory",
+            "repro.obs.dashboard",
+            "repro.obs.stats",
+        ):
+            findings, _ = lint_source(tmp_path, """
+                import time
+
+                def stamp():
+                    return time.time()
+            """, module=module)
+            assert rule_ids(findings) == ["DET003"], module
 
     def test_det003_exec_quarantine_is_not_blanket(self, tmp_path):
         # Only the supervisor/pool/tracing side of repro.exec may touch

@@ -165,6 +165,47 @@ class TestOpenMetrics:
         assert text.endswith("# EOF\n")
         assert "repro_registry_records" in text  # framing always present
 
+    def test_build_info_gauge_carries_schema_versions(self, tmp_path):
+        from repro.obs import SCHEMA_VERSION
+
+        text = render_openmetrics(str(tmp_path / "empty"))
+        lines = text.splitlines()
+        samples = [
+            line for line in lines if line.startswith("repro_build_info{")
+        ]
+        assert len(samples) == 1
+        sample = samples[0]
+        assert sample.endswith("} 1")
+        assert f'record_schema="{SCHEMA_VERSION}"' in sample
+        assert f'progress_schema="{PROGRESS_SCHEMA_VERSION}"' in sample
+        assert 'git_sha="' in sample
+        # Its HELP/TYPE framing precedes the sample.
+        index = lines.index(sample)
+        assert lines[index - 1] == "# TYPE repro_build_info gauge"
+        assert lines[index - 2].startswith("# HELP repro_build_info ")
+
+    def test_every_family_gets_help_and_type_even_when_empty(self, tmp_path):
+        # An empty run directory still exposes the full metric schema:
+        # scrapers learn every family name from any single scrape.
+        text = render_openmetrics(str(tmp_path / "empty"))
+        lines = text.splitlines()
+        for family in (
+            "repro_build_info",
+            "repro_registry_records",
+            "repro_exec_telemetry",
+            "repro_sweep_cells",
+            "repro_sweep_cells_per_second",
+            "repro_sweep_eta_seconds",
+        ):
+            assert f"# TYPE {family} gauge" in lines
+            assert any(
+                line.startswith(f"# HELP {family} ") for line in lines
+            ), family
+
+    def test_eof_is_the_final_line(self, tmp_path):
+        text = render_openmetrics(str(tmp_path / "empty"))
+        assert text.splitlines()[-1] == "# EOF"
+
 
 class TestStreamTelemetry:
     def test_healthy_stream_counts_writes_no_drops(self, tmp_path):
